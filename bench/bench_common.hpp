@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the figure-reproduction benchmark drivers.
+///
+/// Every driver prints the same series the corresponding paper figure plots.
+/// Times are *virtual* seconds/microseconds of the interconnect simulator
+/// (DESIGN.md §1): absolute values are not comparable to the paper's Cray
+/// numbers, but the shapes — orderings, ratios, crossovers — are.
+///
+/// All drivers accept:
+///   --quick            smaller sweeps (used in CI-style runs)
+///   --images=a,b,c     override the image-count sweep
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/caf2.hpp"
+#include "support/table.hpp"
+
+namespace caf2::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  std::vector<int> images;  ///< empty = driver default
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      args.quick = true;
+    } else if (arg.rfind("--images=", 0) == 0) {
+      std::string list = arg.substr(9);
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string token =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        args.images.push_back(std::stoi(token));
+        if (comma == std::string::npos) {
+          break;
+        }
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    }
+  }
+  return args;
+}
+
+/// Interconnect model used by all figure drivers: Gemini-class latency and
+/// bandwidth with a little jitter so channels are not FIFO.
+inline RuntimeOptions bench_options(int images) {
+  RuntimeOptions options;
+  options.num_images = images;
+  options.net = NetworkParams::gemini_like();
+  options.max_events = 600'000'000;
+  options.label = "bench";
+  return options;
+}
+
+/// Collect one double from each image into rank 0 (via allreduce of a
+/// one-hot vector is overkill; a max over a single slot per call is enough
+/// for the scalar statistics the drivers report).
+inline double reduce_max(const Team& team, double value) {
+  double out = value;
+  Event done;
+  allreduce_async<double>(team, std::span<double>(&out, 1), RedOp::kMax,
+                          {.src_done = done.handle()});
+  done.wait();
+  return out;
+}
+
+inline double reduce_min(const Team& team, double value) {
+  double out = value;
+  Event done;
+  allreduce_async<double>(team, std::span<double>(&out, 1), RedOp::kMin,
+                          {.src_done = done.handle()});
+  done.wait();
+  return out;
+}
+
+inline double reduce_sum(const Team& team, double value) {
+  double out = value;
+  Event done;
+  allreduce_async<double>(team, std::span<double>(&out, 1), RedOp::kSum,
+                          {.src_done = done.handle()});
+  done.wait();
+  return out;
+}
+
+}  // namespace caf2::bench

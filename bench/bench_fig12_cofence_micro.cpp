@@ -1,0 +1,125 @@
+/// Reproduces paper Fig. 12: the producer-consumer micro-benchmark of
+/// Fig. 11. Image 0 repeatedly sends five 80-byte asynchronous copies to
+/// random images, then prepares the next round's buffer. The three variants
+/// differ only in how the producer learns it may reuse the source buffer:
+///
+///   cofence  local data completion   (buffer injected -> reusable)
+///   events   local operation completion (all five copies delivered)
+///   finish   global completion        (a finish block per iteration)
+///
+/// Paper result: cofence fastest, events next, finish slowest (the gap to
+/// finish grows with core count). The same ordering must hold here, with
+/// the finish curve growing like log p.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace caf2;
+
+enum class Variant { kCofence, kEvents, kFinish };
+
+constexpr int kPayloadBytes = 80;  // the paper's copied-data size
+constexpr int kTargetsPerIteration = 5;
+constexpr double kProduceCostUs = 2.0;  // produce_work_next_rnd() model
+
+double run_variant(Variant variant, int images, int iterations) {
+  double elapsed_us = 0.0;
+  RuntimeOptions options = bench::bench_options(images);
+  run(options, [&] {
+    Team world = team_world();
+    Coarray<std::uint8_t> inbuf(world, kPayloadBytes);
+    std::vector<std::uint8_t> src(kPayloadBytes, 0xAB);
+    auto& rng = image_rng();
+    team_barrier(world);
+    const double t0 = now_us();
+
+    finish(world, [&] {
+      if (world.rank() == 0) {
+        for (int iter = 0; iter < iterations; ++iter) {
+          switch (variant) {
+            case Variant::kCofence: {
+              for (int c = 0; c < kTargetsPerIteration; ++c) {
+                const int dest = static_cast<int>(
+                    rng.next_below(static_cast<std::uint64_t>(images)));
+                copy_async(inbuf(dest), std::span<const std::uint8_t>(src));
+              }
+              cofence();  // local data completion: src reusable
+              break;
+            }
+            case Variant::kEvents: {
+              Event delivered;
+              for (int c = 0; c < kTargetsPerIteration; ++c) {
+                const int dest = static_cast<int>(
+                    rng.next_below(static_cast<std::uint64_t>(images)));
+                copy_async(inbuf(dest), std::span<const std::uint8_t>(src),
+                           {.dst_done = delivered.handle()});
+              }
+              delivered.wait_many(kTargetsPerIteration);
+              break;
+            }
+            case Variant::kFinish:
+              break;  // handled below (collective inner finish)
+          }
+          if (variant != Variant::kFinish) {
+            src.assign(kPayloadBytes,
+                       static_cast<std::uint8_t>(iter));  // produce next
+            compute(kProduceCostUs);
+          }
+        }
+      }
+      if (variant == Variant::kFinish) {
+        for (int iter = 0; iter < iterations; ++iter) {
+          finish(world, [&] {
+            if (world.rank() == 0) {
+              for (int c = 0; c < kTargetsPerIteration; ++c) {
+                const int dest = static_cast<int>(
+                    rng.next_below(static_cast<std::uint64_t>(images)));
+                copy_async(inbuf(dest), std::span<const std::uint8_t>(src));
+              }
+            }
+          });
+          if (world.rank() == 0) {
+            src.assign(kPayloadBytes, static_cast<std::uint8_t>(iter));
+            compute(kProduceCostUs);
+          }
+        }
+      }
+    });
+    elapsed_us = now_us() - t0;
+    team_barrier(world);
+  });
+  return elapsed_us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = caf2::bench::parse_args(argc, argv);
+  std::vector<int> sweep =
+      args.images.empty() ? std::vector<int>{8, 16, 32, 64} : args.images;
+  if (args.quick) {
+    sweep = {4, 8};
+  }
+  const int iterations = args.quick ? 40 : 200;
+
+  caf2::Table table(
+      "Fig. 12 — producer-consumer micro-benchmark (virtual ms; " +
+      std::to_string(iterations) + " iterations, 80 B x 5 targets)");
+  table.columns({"images", "finish (ms)", "events (ms)", "cofence (ms)",
+                 "cofence speedup vs finish"});
+  table.precision(3);
+
+  for (int images : sweep) {
+    const double fin = run_variant(Variant::kFinish, images, iterations);
+    const double evt = run_variant(Variant::kEvents, images, iterations);
+    const double cof = run_variant(Variant::kCofence, images, iterations);
+    table.add_row({static_cast<long long>(images), fin / 1000.0, evt / 1000.0,
+                   cof / 1000.0, fin / cof});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper Fig. 12): cofence < events < finish at every\n"
+      "scale, with the finish column growing with log(images).\n");
+  return 0;
+}

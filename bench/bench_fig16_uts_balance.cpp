@@ -1,0 +1,53 @@
+/// Reproduces paper Fig. 16: load balance of the UTS implementation — the
+/// relative fraction of work (nodes counted / fair share) per image, at
+/// several machine sizes. The paper reports spreads of [0.989, 1.008] at
+/// 2048 cores widening to [0.980, 1.037] at 8192: lifeline work stealing
+/// balances well, with variance growing slowly with scale because finding
+/// work near the end of the run gets harder.
+
+#include "kernels/uts_scheduler.hpp"
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace caf2;
+  const auto args = bench::parse_args(argc, argv);
+  std::vector<int> sweep =
+      args.images.empty() ? std::vector<int>{8, 16, 32} : args.images;
+  if (args.quick) {
+    sweep = {4, 8};
+  }
+
+  kernels::UtsConfig config;
+  config.tree.b0 = 4.0;
+  config.tree.max_depth = args.quick ? 6 : 9;
+  config.tree.root_seed = 19;  // the paper's seed
+
+  Table table("Fig. 16 — UTS load balance (relative fraction of work)");
+  table.columns({"images", "total nodes", "min fraction", "max fraction",
+                 "spread"});
+  table.precision(4);
+
+  for (int images : sweep) {
+    double min_frac = 0.0;
+    double max_frac = 0.0;
+    std::uint64_t total = 0;
+    run(bench::bench_options(images), [&] {
+      const auto stats = kernels::uts_run(team_world(), config);
+      const double fair =
+          static_cast<double>(stats.total_nodes) / images;
+      const double frac = static_cast<double>(stats.nodes) / fair;
+      min_frac = bench::reduce_min(team_world(), frac);
+      max_frac = bench::reduce_max(team_world(), frac);
+      total = stats.total_nodes;
+    });
+    table.add_row({static_cast<long long>(images),
+                   static_cast<long long>(total), min_frac, max_frac,
+                   max_frac - min_frac});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper Fig. 16): fractions cluster tightly around\n"
+      "1.0, with the spread widening as the image count grows.\n");
+  return 0;
+}

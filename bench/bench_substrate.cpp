@@ -1,0 +1,92 @@
+/// Substrate micro-benchmarks (google-benchmark): real wall-clock costs of
+/// the building blocks — SHA-1 hashing (UTS node generation), the HPCC
+/// stream jump, argument marshalling, simulation-engine event dispatch, and
+/// a full allreduce through the simulated interconnect. These measure the
+/// *simulator's* performance, not the modeled machine's.
+
+#include <benchmark/benchmark.h>
+
+#include "core/caf2.hpp"
+#include "kernels/uts.hpp"
+#include "sim/participant.hpp"
+#include "support/rng.hpp"
+#include "support/serialize.hpp"
+#include "support/sha1.hpp"
+
+namespace {
+
+void BM_Sha1Digest20B(benchmark::State& state) {
+  std::array<std::uint8_t, 24> input{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(caf2::Sha1::hash(input));
+  }
+}
+BENCHMARK(BM_Sha1Digest20B);
+
+void BM_UtsChildGeneration(benchmark::State& state) {
+  caf2::kernels::UtsTree tree;
+  caf2::kernels::UtsNode node = tree.root();
+  int index = 0;
+  for (auto _ : state) {
+    node = caf2::kernels::UtsTree::child(node, index++ & 3);
+    benchmark::DoNotOptimize(node);
+  }
+}
+BENCHMARK(BM_UtsChildGeneration);
+
+void BM_HpccStarts(benchmark::State& state) {
+  std::int64_t n = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(caf2::HpccRandom::starts(n));
+    n = (n * 2862933555777941757LL + 3037000493LL) & 0x7FFFFFFFFFFFLL;
+  }
+}
+BENCHMARK(BM_HpccStarts);
+
+void BM_MarshalSpawnArgs(benchmark::State& state) {
+  const std::vector<double> payload(16, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        caf2::pack_values(std::int64_t{7}, payload, std::int32_t{3}));
+  }
+}
+BENCHMARK(BM_MarshalSpawnArgs);
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  // Round-trip cost of one advance() (event push + token handoff).
+  for (auto _ : state) {
+    state.PauseTiming();
+    caf2::sim::Engine engine(1);
+    state.ResumeTiming();
+    engine.run([](int) {
+      caf2::sim::Engine& e = caf2::sim::this_engine();
+      for (int i = 0; i < 1000; ++i) {
+        e.advance(1.0);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineEventDispatch)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedAllreduce(benchmark::State& state) {
+  const int images = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    caf2::RuntimeOptions options;
+    options.num_images = images;
+    options.net = caf2::NetworkParams::gemini_like();
+    caf2::run(options, [] {
+      for (int i = 0; i < 10; ++i) {
+        benchmark::DoNotOptimize(caf2::allreduce<std::int64_t>(
+            caf2::team_world(), 1, caf2::RedOp::kSum));
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_SimulatedAllreduce)->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+#include "core/caf2.hpp"
+
+#include "core/detectors.hpp"
+#include "runtime/internal.hpp"
+#include "runtime/runtime.hpp"
+
+namespace caf2 {
+
+void run(const RuntimeOptions& options, const std::function<void()>& body) {
+  rt::Runtime runtime(options);
+  rt::install_event_handlers(runtime);
+  ops::install_copy_handlers(runtime);
+  ops::install_spawn_handlers(runtime);
+  ops::install_collective_handlers(runtime);
+  core::install_detector_handlers(runtime);
+  runtime.run(body);
+}
+
+int this_image() { return rt::Image::current().rank(); }
+
+int num_images() { return rt::Image::current().num_images(); }
+
+double now_us() { return rt::Image::current().runtime().engine().now(); }
+
+void compute(double us) {
+  rt::Image::current().runtime().engine().advance(us);
+}
+
+Xoshiro256ss& image_rng() { return rt::Image::current().rng(); }
+
+}  // namespace caf2

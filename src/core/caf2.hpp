@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file caf2.hpp
+/// Public umbrella header of the caf2 library — a C++20 reimplementation of
+/// Coarray Fortran 2.0's asynchronous-operation runtime (Yang, Murthy,
+/// Mellor-Crummey, IPDPS 2013) over a deterministic multi-image simulator.
+///
+/// Quick tour (see examples/quickstart.cpp for a runnable version):
+///
+///   caf2::RuntimeOptions opt;
+///   opt.num_images = 8;
+///   caf2::run(opt, [] {
+///     caf2::Team world = caf2::team_world();
+///     caf2::Coarray<double> data(world, 1024);
+///     caf2::finish(world, [&] {
+///       if (caf2::this_image() == 0) {
+///         caf2::copy_async(data(1), std::span<const double>(...));
+///       }
+///     });  // global completion of everything initiated inside
+///   });
+///
+/// Synchronization toolbox (paper Fig. 1):
+///   caf2::cofence()      local data completion of implicit async ops
+///   caf2::Event          local operation completion (explicit)
+///   caf2::finish(...)    global completion across a team
+
+#include "core/cofence.hpp"
+#include "core/finish.hpp"
+#include "ops/collectives.hpp"
+#include "ops/copy.hpp"
+#include "ops/spawn.hpp"
+#include "runtime/coarray.hpp"
+#include "runtime/event.hpp"
+#include "runtime/team.hpp"
+#include "support/config.hpp"
+
+namespace caf2 {
+
+/// Execute \p body SPMD on options.num_images simulated process images.
+/// Installs all standard active-message handlers, runs the simulation to
+/// completion, and rethrows the first image failure (if any).
+void run(const RuntimeOptions& options, const std::function<void()>& body);
+
+/// World rank of the calling image (0-based; the paper's image index).
+int this_image();
+
+/// Total number of process images.
+int num_images();
+
+/// Current virtual time in microseconds.
+double now_us();
+
+/// Model \p us microseconds of local computation (advances virtual time).
+void compute(double us);
+
+/// Per-image deterministic random generator (seeded from RuntimeOptions).
+Xoshiro256ss& image_rng();
+
+}  // namespace caf2

@@ -1,0 +1,20 @@
+#include "core/cofence.hpp"
+
+#include "runtime/image.hpp"
+
+namespace caf2 {
+
+void cofence(Pass downward, Pass upward) {
+  (void)upward;  // no statement reordering exists in a library runtime
+  rt::Image& image = rt::Image::current();
+  auto& scope = image.cofence_tracker().current();
+  image.wait_for(
+      [&scope, downward] { return scope.data_complete_for(downward); },
+      "cofence");
+}
+
+std::size_t outstanding_implicit_ops() {
+  return rt::Image::current().cofence_tracker().current().outstanding();
+}
+
+}  // namespace caf2

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file detectors.hpp
+/// Baseline distributed termination detectors (paper §V, Fig. 18).
+///
+/// The paper compares its epoch-counting algorithm against:
+///  - a speculative variant without the quiescence precondition, which
+///    needs roughly twice the reduction waves (Fig. 18);
+///  - Mattern's four-counter wave algorithm as used by AM++, which must
+///    confirm with a second agreeing wave and therefore always pays one
+///    extra reduction;
+///  - X10's centralized vector-counting scheme, in which every quiescent
+///    worker sends a place-indexed spawn vector to the finish owner — a
+///    single place receives p vectors of size p, a scaling bottleneck.
+///
+/// All detectors plug into the same finish construct (core/finish.hpp);
+/// they differ only in how end-finish proves global termination.
+
+#include "core/finish.hpp"
+#include "net/message.hpp"
+#include "runtime/image.hpp"
+
+namespace caf2::core {
+
+/// Run the epoch allreduce loop of paper Fig. 7 on \p team for scope \p key.
+/// \p wait_quiescence selects the paper's algorithm (true) or the
+/// speculative "no upper bound" variant (false). Returns the number of
+/// reduction waves used.
+int detect_epoch(rt::Image& image, const Team& team, const net::FinishKey& key,
+                 bool wait_quiescence);
+
+/// Mattern four-counter wave detection: repeated allreduce of
+/// (sent, completed) totals; terminates after two consecutive agreeing waves
+/// with sent == completed. Returns the number of waves.
+int detect_four_counter(rt::Image& image, const Team& team,
+                        const net::FinishKey& key);
+
+/// X10-style centralized vector counting: each quiescent member sends its
+/// per-destination spawn vector to team rank 0, which declares termination
+/// when, for every image j, the spawns targeted at j equal the completions
+/// at j. Returns the number of collection rounds.
+int detect_centralized(rt::Image& image, const Team& team,
+                       const net::FinishKey& key);
+
+/// Install the active-message handler used by detect_centralized.
+void install_detector_handlers(rt::Runtime& runtime);
+
+}  // namespace caf2::core

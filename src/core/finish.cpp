@@ -1,0 +1,91 @@
+#include "core/finish.hpp"
+
+#include "core/detectors.hpp"
+#include "runtime/image.hpp"
+#include "runtime/runtime.hpp"
+
+namespace caf2 {
+
+namespace {
+
+thread_local FinishReport tls_last_report;
+
+net::FinishKey begin_finish(rt::Image& image, const Team& team) {
+  CAF2_REQUIRE(team.valid(), "finish over an invalid team");
+  CAF2_REQUIRE(team.rank_of_world(image.rank()) == team.rank(),
+               "finish caller is not a member of the team");
+  CAF2_REQUIRE(image.cofence_tracker().depth() == 1,
+               "finish may not be used inside a shipped function");
+  const net::FinishKey key{team.id(), image.next_finish_seq(team.id())};
+  image.finish_state(key).mark_entered();
+  image.push_finish(key);
+  return key;
+}
+
+void end_finish(rt::Image& image, const Team& team, const net::FinishKey& key,
+                const FinishOptions& options) {
+  image.pop_finish();
+
+  const double start_us = image.runtime().engine().now();
+  int rounds = 0;
+  switch (options.detector) {
+    case DetectorKind::kEpoch:
+      rounds = core::detect_epoch(image, team, key, /*wait_quiescence=*/true);
+      break;
+    case DetectorKind::kSpeculative:
+      rounds =
+          core::detect_epoch(image, team, key, /*wait_quiescence=*/false);
+      break;
+    case DetectorKind::kFourCounter:
+      rounds = core::detect_four_counter(image, team, key);
+      break;
+    case DetectorKind::kCentralized:
+      rounds = core::detect_centralized(image, team, key);
+      break;
+  }
+
+  image.finish_state(key).mark_terminated();
+  // Global termination proven: no tracked message for this scope is in
+  // flight anywhere, so the accounting can be reclaimed.
+  image.erase_finish_state(key);
+
+  tls_last_report.rounds = rounds;
+  tls_last_report.detect_us = image.runtime().engine().now() - start_us;
+}
+
+}  // namespace
+
+void finish(const Team& team, const std::function<void()>& body,
+            FinishOptions options) {
+  rt::Image& image = rt::Image::current();
+  const net::FinishKey key = begin_finish(image, team);
+  try {
+    body();
+  } catch (...) {
+    image.pop_finish();
+    throw;
+  }
+  end_finish(image, team, key, options);
+}
+
+FinishReport last_finish_report() { return tls_last_report; }
+
+FinishScope::FinishScope(const Team& team, FinishOptions options)
+    : team_(team), options_(options) {
+  begin_finish(rt::Image::current(), team_);
+}
+
+void FinishScope::end() {
+  if (ended_) {
+    return;
+  }
+  ended_ = true;
+  rt::Image& image = rt::Image::current();
+  const net::FinishKey key = image.current_finish();
+  CAF2_ASSERT(key.valid(), "FinishScope lost its scope");
+  end_finish(image, team_, key, options_);
+}
+
+FinishScope::~FinishScope() { end(); }
+
+}  // namespace caf2

@@ -1,0 +1,240 @@
+#include "kernels/randomaccess.hpp"
+
+#include <vector>
+
+#include "runtime/image.hpp"
+#include "support/rng.hpp"
+
+namespace caf2::kernels {
+
+namespace {
+
+struct RaState {
+  std::uint64_t applied = 0;
+  double update_cost_us = 0.0;
+};
+
+thread_local RaState* tls_ra = nullptr;
+
+/// Shipped: apply one read-modify-write on the owning image. Runs on the
+/// owner's thread, so it is atomic by construction (the paper's point about
+/// the function-shipping variant).
+void ra_update(Coref<std::uint64_t> table, std::uint64_t offset,
+               std::uint64_t value) {
+  table.local()[offset] ^= value;
+  if (tls_ra != nullptr) {
+    tls_ra->applied += 1;
+    if (tls_ra->update_cost_us > 0.0) {
+      compute(tls_ra->update_cost_us);
+    }
+  }
+}
+
+std::uint64_t table_checksum(std::span<const std::uint64_t> table) {
+  std::uint64_t checksum = 0;
+  for (std::uint64_t word : table) {
+    checksum ^= word;
+  }
+  return checksum;
+}
+
+/// Stream start of one image. The HPCC recurrence starting from x_0 = 1
+/// stays extremely sparse (few set bits) for a long prefix — and positions
+/// that are powers of two stay sparse too, because x_{2^k} is a repeated
+/// Frobenius square of a sparse element. The reference benchmark jumps each
+/// process deep into the stream; we do the same with a large non-structured
+/// base offset, after which consecutive values are well mixed.
+std::int64_t stream_start(int team_rank, std::uint64_t updates) {
+  constexpr std::int64_t kWarmup = 97'003'919;
+  return kWarmup + static_cast<std::int64_t>(
+                       static_cast<std::uint64_t>(team_rank) * updates);
+}
+
+void init_table(Coarray<std::uint64_t>& table, const Team& team) {
+  const std::uint64_t local = table.count();
+  const std::uint64_t base = static_cast<std::uint64_t>(team.rank()) * local;
+  for (std::uint64_t i = 0; i < local; ++i) {
+    table[i] = base + i;
+  }
+}
+
+}  // namespace
+
+RaStats ra_run_function_shipping(const Team& team, const RaConfig& config) {
+  const std::uint64_t local = 1ULL << config.log2_local_table;
+  const std::uint64_t total = local * static_cast<std::uint64_t>(team.size());
+
+  RaState state;
+  state.update_cost_us = config.update_cost_us;
+  tls_ra = &state;
+
+  Coarray<std::uint64_t> table(team, local);
+  init_table(table, team);
+  team_barrier(team);
+
+  RaStats stats;
+  const double t0 = now_us();
+  HpccRandom stream(stream_start(team.rank(), config.updates_per_image));
+
+  std::uint64_t done = 0;
+  while (done < config.updates_per_image) {
+    const std::uint64_t bunch = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(config.bunch),
+        config.updates_per_image - done);
+    // One finish block per bunch: global completion of every shipped update
+    // in the bunch before the next begins (paper §IV-B groups 512-2048
+    // updates per finish).
+    finish(
+        team,
+        [&] {
+          for (std::uint64_t j = 0; j < bunch; ++j) {
+            const std::uint64_t value = stream.next();
+            const std::uint64_t index = value % total;
+            const int target = static_cast<int>(index / local);
+            const std::uint64_t offset = index % local;
+            spawn<ra_update>(team.world_rank(target), table.ref(), offset,
+                             value);
+            if (config.issue_cost_us > 0.0) {
+              compute(config.issue_cost_us);
+            }
+          }
+        },
+        FinishOptions{config.detector});
+    done += bunch;
+    stats.finishes += 1;
+  }
+  stats.elapsed_us = now_us() - t0;
+  stats.updates = config.updates_per_image;
+  stats.applied = state.applied;
+  stats.checksum = table_checksum(table.local());
+  team_barrier(team);
+  tls_ra = nullptr;
+  return stats;
+}
+
+RaStats ra_run_get_update_put(const Team& team, const RaConfig& config) {
+  const std::uint64_t local = 1ULL << config.log2_local_table;
+  const std::uint64_t total = local * static_cast<std::uint64_t>(team.size());
+
+  Coarray<std::uint64_t> table(team, local);
+  init_table(table, team);
+  team_barrier(team);
+
+  RaStats stats;
+  const double t0 = now_us();
+  HpccRandom stream(stream_start(team.rank(), config.updates_per_image));
+
+  // The reference version pipelines `window` updates: issue a get per slot,
+  // and when a slot's value arrives, update it locally and put it back.
+  // Individual updates stay unsynchronized against other images' updates of
+  // the same word — the data race the paper's reference version admits.
+  struct Slot {
+    Event got;
+    Event staged;
+    std::uint64_t tmp = 0;
+    std::uint64_t value = 0;
+    int target = -1;
+    std::uint64_t offset = 0;
+    bool busy = false;
+  };
+  std::vector<std::unique_ptr<Slot>> slots;
+  const int window = std::max(config.window, 1);
+  slots.reserve(static_cast<std::size_t>(window));
+  for (int s = 0; s < window; ++s) {
+    slots.push_back(std::make_unique<Slot>());
+  }
+
+  Event puts_delivered;
+  std::uint64_t puts_outstanding = 0;
+
+  auto retire = [&](Slot& slot) {
+    slot.got.wait();
+    slot.tmp ^= slot.value;
+    if (config.update_cost_us > 0.0) {
+      compute(config.update_cost_us);
+    }
+    copy_async(table.slice(slot.target, slot.offset, 1),
+               std::span<const std::uint64_t>(&slot.tmp, 1),
+               {.src_done = slot.staged.handle(),
+                .dst_done = puts_delivered.handle()});
+    ++puts_outstanding;
+    if (config.issue_cost_us > 0.0) {
+      compute(config.issue_cost_us);
+    }
+    slot.staged.wait();  // slot.tmp is reusable once the put is injected
+    slot.busy = false;
+  };
+
+  for (std::uint64_t k = 0; k < config.updates_per_image; ++k) {
+    const std::uint64_t value = stream.next();
+    const std::uint64_t index = value % total;
+    const int target = static_cast<int>(index / local);
+    const std::uint64_t offset = index % local;
+
+    if (target == team.rank()) {
+      table[offset] ^= value;
+      if (config.update_cost_us > 0.0) {
+        compute(config.update_cost_us);
+      }
+      continue;
+    }
+
+    Slot& slot = *slots[static_cast<std::size_t>(k) %
+                        static_cast<std::size_t>(window)];
+    if (slot.busy) {
+      retire(slot);
+    }
+    slot.value = value;
+    slot.target = target;
+    slot.offset = offset;
+    slot.busy = true;
+    copy_async(std::span<std::uint64_t>(&slot.tmp, 1),
+               table.slice(target, offset, 1),
+               {.dst_done = slot.got.handle()});
+    if (config.issue_cost_us > 0.0) {
+      compute(config.issue_cost_us);
+    }
+  }
+  for (auto& slot : slots) {
+    if (slot->busy) {
+      retire(*slot);
+    }
+  }
+  puts_delivered.wait_many(puts_outstanding);
+  team_barrier(team);
+
+  stats.elapsed_us = now_us() - t0;
+  stats.updates = config.updates_per_image;
+  stats.checksum = table_checksum(table.local());
+  team_barrier(team);
+  return stats;
+}
+
+std::uint64_t ra_expected_checksum(int team_size, int team_rank,
+                                   const RaConfig& config) {
+  const std::uint64_t local = 1ULL << config.log2_local_table;
+  const std::uint64_t total = local * static_cast<std::uint64_t>(team_size);
+  const std::uint64_t base = static_cast<std::uint64_t>(team_rank) * local;
+
+  std::vector<std::uint64_t> table(local);
+  for (std::uint64_t i = 0; i < local; ++i) {
+    table[i] = base + i;
+  }
+  for (int image = 0; image < team_size; ++image) {
+    HpccRandom stream(stream_start(image, config.updates_per_image));
+    for (std::uint64_t k = 0; k < config.updates_per_image; ++k) {
+      const std::uint64_t value = stream.next();
+      const std::uint64_t index = value % total;
+      if (index >= base && index < base + local) {
+        table[index - base] ^= value;
+      }
+    }
+  }
+  std::uint64_t checksum = 0;
+  for (std::uint64_t word : table) {
+    checksum ^= word;
+  }
+  return checksum;
+}
+
+}  // namespace caf2::kernels

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file randomaccess.hpp
+/// HPC Challenge RandomAccess (paper §IV-B).
+///
+/// A table of 2^m 64-bit words per image is updated at random global
+/// indices: update k XORs stream value a_k into table[a_k mod table_size].
+/// Two implementations mirror the paper's comparison:
+///
+///  - Reference ("Get-Update-Put"): each update gets the remote word,
+///    updates it locally, and puts it back — two one-sided transfers per
+///    update, with the data races the paper acknowledges.
+///  - Function shipping: updates are shipped to the image owning the table
+///    entry and applied there as local read-modify-writes (atomic by
+///    construction); updates are grouped into *bunches*, each enclosed in a
+///    finish block, so the bunch size controls how often termination
+///    detection runs (paper Figs. 13 and 14).
+
+#include "core/caf2.hpp"
+
+namespace caf2::kernels {
+
+struct RaConfig {
+  int log2_local_table = 10;          ///< words per image = 2^this
+  std::uint64_t updates_per_image = 1024;
+  int bunch = 256;                    ///< updates per finish block (FS only)
+  double update_cost_us = 0.05;       ///< modeled cost of one table update
+  double issue_cost_us = 0.3;         ///< modeled CPU cost of issuing one
+                                      ///< remote operation (spawn/get/put)
+  int window = 64;                    ///< in-flight gets (get-update-put);
+                                      ///< the reference version pipelines
+                                      ///< updates like the HPCC spec allows
+  DetectorKind detector = DetectorKind::kEpoch;
+};
+
+struct RaStats {
+  std::uint64_t updates = 0;     ///< updates this image *initiated*
+  std::uint64_t applied = 0;     ///< updates applied to this image's table
+  int finishes = 0;              ///< finish blocks executed (FS only)
+  double elapsed_us = 0.0;       ///< virtual time of the update phase
+  std::uint64_t checksum = 0;    ///< XOR of this image's final table
+};
+
+/// Function-shipping implementation with finish bunches. Collective.
+RaStats ra_run_function_shipping(const Team& team, const RaConfig& config);
+
+/// Reference get-update-put implementation. Collective.
+RaStats ra_run_get_update_put(const Team& team, const RaConfig& config);
+
+/// Serial replay of the full update stream restricted to \p team_rank's
+/// partition: the expected checksum for verification. Deterministic and
+/// race-free, so the function-shipping variant must match it exactly; the
+/// get-update-put variant may differ when races occur (the paper's point).
+std::uint64_t ra_expected_checksum(int team_size, int team_rank,
+                                   const RaConfig& config);
+
+}  // namespace caf2::kernels

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file uts_scheduler.hpp
+/// The paper's UTS implementation (Fig. 15): a composite of work sharing and
+/// lifeline-based work stealing (Saraswat et al., PPoPP'11), with finish
+/// providing termination detection.
+///
+///  - Initial work sharing: team rank 0 expands the top of the tree and
+///    distributes the frontier round-robin via shipped functions.
+///  - Randomized stealing: an image that runs out of work ships a
+///    steal_work function to a random victim (one network trip; the reply —
+///    work or a nack — is a second trip: the 2-round-trip structure of
+///    paper Fig. 3).
+///  - Lifelines: after n failed steal attempts an image arms a lifeline on
+///    each hypercube neighbor (ranks differing in one bit) and quiesces;
+///    neighbors push excess work down armed lifelines.
+///  - Termination: the enclosing finish block detects global completion —
+///    a barrier cannot, because pushed work can land on an image after it
+///    went idle (paper Fig. 5).
+///
+/// Steal/push batches are capped by the medium active-message payload, the
+/// same GASNet limit the paper reports (§IV-C1a).
+
+#include "core/caf2.hpp"
+#include "kernels/uts.hpp"
+
+namespace caf2::kernels {
+
+struct UtsConfig {
+  UtsTree tree{};
+  double node_cost_us = 0.3;  ///< modeled cost of hashing/processing a node
+  int chunk = 64;             ///< nodes processed per scheduling quantum
+  int steal_batch = 64;       ///< max nodes per steal/lifeline push
+  int steal_attempts = 1;     ///< paper: n = 1
+  int share_threshold = 16;   ///< share only when the queue exceeds this
+  int initial_per_image = 16; ///< frontier nodes rank 0 aims to hand each image
+  DetectorKind detector = DetectorKind::kEpoch;
+};
+
+struct UtsStats {
+  std::uint64_t nodes = 0;        ///< nodes counted by this image
+  std::uint64_t total_nodes = 0;  ///< team-wide total (identical everywhere)
+  int steals_attempted = 0;
+  int steals_successful = 0;
+  int lifeline_pushes = 0;
+  int finish_rounds = 0;          ///< termination-detection waves (Fig. 18)
+  double elapsed_us = 0.0;        ///< virtual time of the whole finish
+};
+
+/// Run UTS over \p team (collective). Returns this image's statistics; the
+/// total node count is the same on every image.
+UtsStats uts_run(const Team& team, const UtsConfig& config);
+
+}  // namespace caf2::kernels

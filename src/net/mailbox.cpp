@@ -1,0 +1,19 @@
+#include "net/mailbox.hpp"
+
+namespace caf2::net {
+
+void Mailbox::push(Message message) {
+  queue_.push_back(std::move(message));
+  ++delivered_total_;
+}
+
+std::optional<Message> Mailbox::try_pop() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Message front = std::move(queue_.front());
+  queue_.pop_front();
+  return front;
+}
+
+}  // namespace caf2::net

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file mailbox.hpp
+/// Per-image inbound message queue.
+///
+/// The simulation engine guarantees that at most one execution context
+/// (participant or engine callback) runs at any instant, so the mailbox
+/// needs no internal locking; it is a plain FIFO of delivered messages.
+/// Delivery *order* is decided by the network's latency + jitter model, so
+/// the FIFO here does not imply FIFO channels between image pairs.
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "net/message.hpp"
+
+namespace caf2::net {
+
+class Mailbox {
+ public:
+  void push(Message message);
+
+  /// Pop the oldest delivered message, if any.
+  std::optional<Message> try_pop();
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  /// Total messages ever delivered to this mailbox.
+  std::uint64_t delivered_total() const { return delivered_total_; }
+
+ private:
+  std::deque<Message> queue_;
+  std::uint64_t delivered_total_ = 0;
+};
+
+}  // namespace caf2::net

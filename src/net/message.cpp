@@ -1,0 +1,12 @@
+#include "net/message.hpp"
+
+// Message is a plain data carrier; this translation unit exists so the
+// header has a home object file (and a place for future out-of-line
+// helpers) without forcing header-only builds of the net library.
+
+namespace caf2::net {
+
+static_assert(sizeof(MessageHeader) <= 64,
+              "MessageHeader should stay within one cache line");
+
+}  // namespace caf2::net

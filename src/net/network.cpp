@@ -1,0 +1,106 @@
+#include "net/network.hpp"
+
+namespace caf2::net {
+
+Network::Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed)
+    : engine_(engine),
+      params_(params),
+      jitter_rng_(seed),
+      mailboxes_(static_cast<std::size_t>(engine.size())),
+      traffic_(static_cast<std::size_t>(engine.size())) {}
+
+Mailbox& Network::mailbox(int image) {
+  CAF2_REQUIRE(image >= 0 && image < size(), "mailbox(): image out of range");
+  return mailboxes_[static_cast<std::size_t>(image)];
+}
+
+const Mailbox& Network::mailbox(int image) const {
+  CAF2_REQUIRE(image >= 0 && image < size(), "mailbox(): image out of range");
+  return mailboxes_[static_cast<std::size_t>(image)];
+}
+
+void Network::reset_traffic() {
+  for (ImageTraffic& t : traffic_) {
+    t = ImageTraffic{};
+  }
+}
+
+Network::Timing Network::plan(double now, std::size_t bytes) {
+  Timing timing{};
+  const double inject =
+      params_.bandwidth_bytes_per_us > 0.0
+          ? static_cast<double>(bytes) / params_.bandwidth_bytes_per_us
+          : 0.0;
+  timing.stage_at = now + inject;
+  double jitter = 0.0;
+  if (params_.jitter_us > 0.0) {
+    jitter = jitter_rng_.next_double() * params_.jitter_us;
+  }
+  timing.deliver_at = timing.stage_at + params_.latency_us + jitter;
+  timing.ack_at = timing.deliver_at + params_.effective_ack_latency_us();
+  return timing;
+}
+
+void Network::deliver(Message message, const Timing& timing,
+                      SendCallbacks callbacks) {
+  const int dest = message.header.dest;
+  const int source = message.header.source;
+  const std::size_t bytes = message.size_bytes();
+
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  traffic_[static_cast<std::size_t>(source)].messages_out += 1;
+  traffic_[static_cast<std::size_t>(source)].bytes_out += bytes;
+
+  engine_.post(timing.deliver_at,
+               [this, dest, message = std::move(message)]() mutable {
+                 traffic_[static_cast<std::size_t>(dest)].messages_in += 1;
+                 traffic_[static_cast<std::size_t>(dest)].bytes_in +=
+                     message.size_bytes();
+                 mailboxes_[static_cast<std::size_t>(dest)].push(
+                     std::move(message));
+                 engine_.unblock(dest);
+               });
+  if (callbacks.on_acked) {
+    engine_.post(timing.ack_at, std::move(callbacks.on_acked));
+  }
+}
+
+void Network::send(Message message, SendCallbacks callbacks) {
+  CAF2_REQUIRE(message.header.dest >= 0 && message.header.dest < size(),
+               "send(): destination image out of range");
+  const Timing timing = plan(engine_.now(), message.size_bytes());
+  if (callbacks.on_staged) {
+    engine_.post(timing.stage_at, std::move(callbacks.on_staged));
+    callbacks.on_staged = nullptr;
+  }
+  deliver(std::move(message), timing, std::move(callbacks));
+}
+
+void Network::send_staged(MessageHeader header, std::size_t size_hint,
+                          std::function<std::vector<std::uint8_t>()> read,
+                          SendCallbacks callbacks) {
+  CAF2_REQUIRE(header.dest >= 0 && header.dest < size(),
+               "send_staged(): destination image out of range");
+  CAF2_REQUIRE(read != nullptr, "send_staged(): needs a staging reader");
+  const Timing timing = plan(engine_.now(), size_hint);
+
+  // At staging time the network reads the source buffer; only then does the
+  // message exist as an independent payload. Overwriting the source buffer
+  // before local data completion corrupts the transfer, as on real RDMA
+  // hardware.
+  engine_.post(timing.stage_at, [this, header, timing,
+                                 read = std::move(read),
+                                 callbacks = std::move(callbacks)]() mutable {
+    Message message;
+    message.header = header;
+    message.payload = read();
+    if (callbacks.on_staged) {
+      callbacks.on_staged();
+      callbacks.on_staged = nullptr;
+    }
+    deliver(std::move(message), timing, std::move(callbacks));
+  });
+}
+
+}  // namespace caf2::net

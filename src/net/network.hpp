@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file network.hpp
+/// Simulated interconnect: timing model + delivery.
+///
+/// A message initiated at virtual time t traverses four points that realize
+/// the paper's completion spectrum (paper Fig. 1, DESIGN.md §4.2):
+///
+///   initiation  t                       send()/send_staged() returns
+///   staging     t + size/bandwidth      source buffer read ("injected");
+///                                       on_staged fires -> local data
+///                                       completion of the operation
+///   delivery    staging + latency + U[0, jitter]
+///                                       message lands in the destination
+///                                       mailbox; destination is unblocked
+///   ack         delivery + ack_latency  on_acked fires at the initiator ->
+///                                       local operation completion
+///
+/// Jitter makes channels non-FIFO, which the paper's termination-detection
+/// algorithm must tolerate (its §III-A2 rejects FIFO-dependent algorithms).
+///
+/// send_staged() defers reading the source buffer to staging time: this is
+/// what makes "overwrite the source before cofence()" a real data hazard in
+/// the simulation, exactly as on hardware with a zero-copy NIC.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/mailbox.hpp"
+#include "net/message.hpp"
+#include "sim/engine.hpp"
+#include "support/config.hpp"
+#include "support/rng.hpp"
+
+namespace caf2::net {
+
+/// Completion callbacks of one send. Both run as engine callbacks (no
+/// participant token): they may post messages and unblock images but must
+/// not block.
+struct SendCallbacks {
+  /// Source buffer has been read; local data completion on the source image.
+  std::function<void()> on_staged;
+  /// Delivery acknowledged at the initiator; local operation completion.
+  std::function<void()> on_acked;
+};
+
+/// Per-image traffic counters (used by the detector-ablation benchmark to
+/// expose the X10-style centralized hotspot).
+struct ImageTraffic {
+  std::uint64_t messages_in = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t messages_out = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Send a message whose payload is already materialized (spawn arguments
+  /// are evaluated at initiation, paper Fig. 4 "Spawn" row). Staging still
+  /// models injection time for the payload size.
+  void send(Message message, SendCallbacks callbacks = {});
+
+  /// Send a message whose payload is produced at *staging time* by \p read
+  /// (asynchronous copies: the network reads the source buffer when the
+  /// transfer is injected, not when the call returns). \p size_hint must be
+  /// the number of bytes \p read will produce.
+  void send_staged(MessageHeader header, std::size_t size_hint,
+                   std::function<std::vector<std::uint8_t>()> read,
+                   SendCallbacks callbacks = {});
+
+  Mailbox& mailbox(int image);
+  const Mailbox& mailbox(int image) const;
+
+  const NetworkParams& params() const { return params_; }
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  const ImageTraffic& traffic(int image) const { return traffic_[image]; }
+
+  /// Reset the per-image traffic counters (benchmarks call this between
+  /// measurement phases).
+  void reset_traffic();
+
+ private:
+  struct Timing {
+    double stage_at;
+    double deliver_at;
+    double ack_at;
+  };
+  Timing plan(double now, std::size_t bytes);
+
+  void deliver(Message message, const Timing& timing,
+               SendCallbacks callbacks);
+
+  sim::Engine& engine_;
+  NetworkParams params_;
+  Xoshiro256ss jitter_rng_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<ImageTraffic> traffic_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace caf2::net

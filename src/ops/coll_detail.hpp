@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file coll_detail.hpp
+/// Internal machinery shared by the collective implementations
+/// (collectives.cpp) and the distributed sort (sort.cpp). Not public API.
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/collectives.hpp"
+#include "runtime/image.hpp"
+
+namespace caf2::ops::detail {
+
+/// Binomial-tree helpers over `p` relative ranks rooted at 0. A node's
+/// parent clears its lowest set bit; its children add every power of two
+/// below that bit.
+int binomial_parent(int vr);
+std::vector<int> binomial_children(int vr, int p);
+int ceil_log2(int p);
+
+/// Common machinery: stage-message sending with staged/ack bookkeeping, the
+/// two completion points (local data / local operation), and finish
+/// attribution captured at start time.
+class CollImplBase : public rt::CollBase {
+ public:
+  CollImplBase(rt::CollKey key, CollDesc desc);
+
+  void on_stage(rt::Image& image, rt::CollStageMsg&& msg) override;
+  bool finished() const override { return erasable_; }
+
+  /// Entered once, after construction (and before any buffered replay).
+  void start(rt::Image& image, const net::FinishKey& finish,
+             rt::ImplicitOpPtr op);
+
+ protected:
+  /// Kind-specific initiation.
+  virtual void begin(rt::Image& image) = 0;
+  /// Kind-specific stage-message handling.
+  virtual void handle(rt::Image& image, rt::CollStageMsg&& msg) = 0;
+  /// Kind-specific: algorithm role of this image is complete.
+  virtual bool role_done() const = 0;
+
+  void send_stage(rt::Image& image, int to_team_rank, int stage,
+                  const void* data, std::size_t bytes);
+
+  /// Local data completion (paper Fig. 4); with \p after_stages the mark is
+  /// deferred until every outgoing stage has been injected.
+  void mark_data_done(rt::Image& image, bool after_stages = false);
+
+  void try_complete(rt::Image& image);
+
+  const CollDesc& desc() const { return desc_; }
+  int team_rank() const { return desc_.team.rank(); }
+  int team_size() const { return desc_.team.size(); }
+
+ private:
+  rt::CollKey key_;
+  CollDesc desc_;
+  net::FinishKey finish_{};
+  rt::ImplicitOpPtr op_;
+  int pending_stage_ = 0;
+  int pending_ack_ = 0;
+  bool data_done_ = false;
+  bool data_after_stages_ = false;
+  bool op_done_ = false;
+  bool erasable_ = false;
+};
+
+/// Factory for the distributed sample sort (implemented in sort.cpp).
+std::unique_ptr<CollImplBase> make_sort_impl(rt::CollKey key, CollDesc desc);
+
+}  // namespace caf2::ops::detail

@@ -1,0 +1,272 @@
+#pragma once
+
+/// \file collectives.hpp
+/// Asynchronous team collectives (paper §II-C3).
+///
+/// CAF 2.0 collectives overlap group coordination with computation: a call
+/// initiates the operation and returns immediately. Completion is managed
+/// either explicitly through the two optional events —
+///   src_done   local *data* completion (paper Fig. 4: the local buffer may
+///              be reused / the arrived data may be read), or
+///   local_done local *operation* completion (all pair-wise communication
+///              involving this image is complete) —
+/// or implicitly (no events), in which case cofence provides local data
+/// completion and an enclosing finish block provides global completion.
+///
+/// Algorithms: dissemination barrier; binomial-tree broadcast and reduce;
+/// allreduce as reduce-to-rank-0 + broadcast (the exact structure the
+/// paper's §III-A3 critical-path argument assumes: one pass through a
+/// reduction tree, one through a broadcast tree).
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "ops/reduction.hpp"
+#include "runtime/event.hpp"
+#include "runtime/image.hpp"
+#include "runtime/team.hpp"
+
+namespace caf2 {
+
+struct CollOptions {
+  RemoteEvent src_done{};    ///< local data completion
+  RemoteEvent local_done{};  ///< local operation completion
+};
+
+namespace ops {
+
+enum class CollKind : std::uint8_t {
+  kBarrier,
+  kBroadcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kScatter,
+  kAlltoall,
+  kScan,
+  kSort,
+};
+
+/// Byte-level collective descriptor; typed wrappers populate it.
+struct CollDesc {
+  CollKind kind = CollKind::kBarrier;
+  Team team;
+  int root = 0;          ///< team rank (broadcast/reduce/gather/scatter)
+  void* buf = nullptr;   ///< participant buffer (kind-specific role)
+  std::size_t bytes = 0; ///< size of one contribution in bytes
+  void* buf2 = nullptr;  ///< secondary buffer (gather/alltoall receive side)
+  std::size_t bytes2 = 0;
+  Reducer reducer{};
+  bool exclusive_scan = false;
+
+  /// Sort plumbing (type-erased; see sort_async).
+  void* sort_sink = nullptr;
+  void (*sort_assign)(void* sink, const std::uint8_t* data,
+                      std::size_t bytes) = nullptr;
+  void (*sort_sort)(std::uint8_t* data, std::size_t bytes) = nullptr;
+  bool (*sort_less)(const std::uint8_t* a, const std::uint8_t* b) = nullptr;
+  std::size_t elem_size = 0;
+
+  RemoteEvent src_done{};
+  RemoteEvent local_done{};
+};
+
+/// Start the collective described by \p desc on the calling image.
+void start_collective(CollDesc desc);
+
+void install_collective_handlers(rt::Runtime& runtime);
+
+}  // namespace ops
+
+/// Asynchronous dissemination barrier over \p team.
+void barrier_async(const Team& team, CollOptions options = {});
+
+/// Synchronous barrier (convenience wrapper).
+void team_barrier(const Team& team);
+
+/// Asynchronous binomial broadcast of `buf` from team rank \p root.
+template <typename T>
+void broadcast_async(const Team& team, std::span<T> buf, int root,
+                     CollOptions options = {}) {
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kBroadcast;
+  desc.team = team;
+  desc.root = root;
+  desc.buf = buf.data();
+  desc.bytes = buf.size_bytes();
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous binomial reduction of `buf` into team rank \p root's `buf`.
+/// Non-root buffers are inputs only (copied at initiation, so they may be
+/// reused as soon as src_done fires — which is immediately).
+template <typename T>
+void reduce_async(const Team& team, std::span<T> buf, int root, RedOp op,
+                  CollOptions options = {}) {
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kReduce;
+  desc.team = team;
+  desc.root = root;
+  desc.buf = buf.data();
+  desc.bytes = buf.size_bytes();
+  desc.reducer = ops::make_reducer<T>(op);
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous allreduce: every member's `buf` ends up holding the
+/// element-wise reduction over all members. Local data completion (src_done)
+/// fires when the final result is in `buf`.
+template <typename T>
+void allreduce_async(const Team& team, std::span<T> buf, RedOp op,
+                     CollOptions options = {}) {
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kAllreduce;
+  desc.team = team;
+  desc.buf = buf.data();
+  desc.bytes = buf.size_bytes();
+  desc.reducer = ops::make_reducer<T>(op);
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Synchronous scalar allreduce (convenience wrapper used pervasively by
+/// tests and by the finish termination detector).
+template <typename T>
+T allreduce(const Team& team, T value, RedOp op) {
+  T result = value;
+  Event done;
+  allreduce_async<T>(team, std::span<T>(&result, 1), op,
+                     {.src_done = done.handle()});
+  done.wait();
+  return result;
+}
+
+/// Asynchronous gather: every member contributes `send` (equal sizes); team
+/// rank \p root receives the concatenation (by team rank) into `recv`
+/// (size = team size × send size). `recv` is ignored on non-roots.
+template <typename T>
+void gather_async(const Team& team, std::span<const T> send,
+                  std::span<T> recv, int root, CollOptions options = {}) {
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kGather;
+  desc.team = team;
+  desc.root = root;
+  desc.buf = const_cast<T*>(send.data());
+  desc.bytes = send.size_bytes();
+  if (team.rank() == root) {
+    CAF2_REQUIRE(recv.size() == send.size() *
+                     static_cast<std::size_t>(team.size()),
+                 "gather_async: root receive extent mismatch");
+    desc.buf2 = recv.data();
+    desc.bytes2 = recv.size_bytes();
+  }
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous scatter: team rank \p root's `send` (team size × chunk) is
+/// split by team rank; every member receives its chunk into `recv`.
+template <typename T>
+void scatter_async(const Team& team, std::span<const T> send,
+                   std::span<T> recv, int root, CollOptions options = {}) {
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kScatter;
+  desc.team = team;
+  desc.root = root;
+  if (team.rank() == root) {
+    CAF2_REQUIRE(send.size() == recv.size() *
+                     static_cast<std::size_t>(team.size()),
+                 "scatter_async: root send extent mismatch");
+    desc.buf = const_cast<T*>(send.data());
+    desc.bytes = send.size_bytes();
+  }
+  desc.buf2 = recv.data();
+  desc.bytes2 = recv.size_bytes();
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous all-to-all personalized exchange: chunk j of `send` goes to
+/// team rank j; chunk i of `recv` comes from team rank i. Both spans hold
+/// team size × chunk elements.
+template <typename T>
+void alltoall_async(const Team& team, std::span<const T> send,
+                    std::span<T> recv, CollOptions options = {}) {
+  CAF2_REQUIRE(send.size() == recv.size(),
+               "alltoall_async: send/recv extents differ");
+  CAF2_REQUIRE(send.size() % static_cast<std::size_t>(team.size()) == 0,
+               "alltoall_async: extent not divisible by team size");
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kAlltoall;
+  desc.team = team;
+  desc.buf = const_cast<T*>(send.data());
+  desc.bytes = send.size_bytes();
+  desc.buf2 = recv.data();
+  desc.bytes2 = recv.size_bytes();
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous scan (prefix reduction) over team ranks, in place. With
+/// \p exclusive, element i receives the reduction of ranks [0, i) and team
+/// rank 0's buffer is left unchanged.
+template <typename T>
+void scan_async(const Team& team, std::span<T> data, RedOp op,
+                bool exclusive = false, CollOptions options = {}) {
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kScan;
+  desc.team = team;
+  desc.buf = data.data();
+  desc.bytes = data.size_bytes();
+  desc.reducer = ops::make_reducer<T>(op);
+  desc.exclusive_scan = exclusive;
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous distributed sample sort: `keys` (this image's block, any
+/// size) is replaced by a slice of the globally sorted sequence, ordered by
+/// team rank (rank 0 holds the smallest keys). Sizes may change — sample
+/// sort redistributes by splitter.
+template <typename T>
+void sort_async(const Team& team, std::vector<T>& keys,
+                CollOptions options = {}) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "sort keys must be trivially copyable");
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kSort;
+  desc.team = team;
+  desc.buf = keys.data();
+  desc.bytes = keys.size() * sizeof(T);
+  desc.elem_size = sizeof(T);
+  desc.sort_sink = &keys;
+  desc.sort_assign = [](void* sink, const std::uint8_t* data,
+                        std::size_t bytes) {
+    auto* out = static_cast<std::vector<T>*>(sink);
+    out->resize(bytes / sizeof(T));
+    std::memcpy(out->data(), data, bytes);
+  };
+  desc.sort_sort = [](std::uint8_t* data, std::size_t bytes) {
+    T* keys_begin = reinterpret_cast<T*>(data);
+    std::sort(keys_begin, keys_begin + bytes / sizeof(T));
+  };
+  desc.sort_less = [](const std::uint8_t* a, const std::uint8_t* b) {
+    return *reinterpret_cast<const T*>(a) < *reinterpret_cast<const T*>(b);
+  };
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+}  // namespace caf2

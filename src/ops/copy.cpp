@@ -1,0 +1,431 @@
+#include "ops/copy.hpp"
+
+#include <cstring>
+
+#include "runtime/internal.hpp"
+#include "runtime/runtime.hpp"
+#include "support/serialize.hpp"
+
+namespace caf2::ops {
+
+namespace {
+
+using rt::Image;
+using rt::Tracking;
+
+/// Wire formats. All are trivially copyable and travel at the front of the
+/// message payload (followed by raw data where applicable).
+struct PutWire {
+  std::uint64_t dst_coarray;
+  std::uint64_t dst_offset_bytes;
+  RemoteEvent dst_done;
+};
+
+struct GetReqWire {
+  std::uint64_t src_coarray;
+  std::uint64_t src_offset_bytes;
+  std::uint64_t bytes;
+  std::uint64_t sink_id;
+  RemoteEvent src_done;
+};
+
+struct GetRespWire {
+  std::uint64_t sink_id;
+};
+
+struct ForwardWire {
+  std::uint64_t dst_coarray;
+  std::uint64_t dst_offset_bytes;
+  std::int32_t dst_image;
+  std::uint64_t src_coarray;
+  std::uint64_t src_offset_bytes;
+  std::uint64_t bytes;
+  RemoteEvent src_done;
+  RemoteEvent dst_done;
+};
+
+struct ArmWire {
+  std::uint64_t event_id;
+  std::uint64_t plan_id;
+  std::int32_t initiator;
+};
+
+struct FireWire {
+  std::uint64_t plan_id;
+};
+
+/// Build a header attributed to \p finish (captured at initiation time, so
+/// deferred plans still charge the right scope).
+net::MessageHeader header_for(Image& image, int dest, net::HandlerId handler,
+                              const net::FinishKey& finish) {
+  net::MessageHeader h;
+  h.source = image.rank();
+  h.dest = dest;
+  h.handler = handler;
+  if (finish.valid()) {
+    h.finish = finish;
+    h.tracked = true;
+    h.from_odd_epoch = image.finish_state(finish).present_odd();
+  }
+  return h;
+}
+
+void post_done(Image& image, const RemoteEvent& event) {
+  if (event.valid()) {
+    rt::post_event_raw(image.runtime(), image.rank(), event);
+  }
+}
+
+/// Both end points are buffers local to \p image: a staged local memcpy.
+/// A tracked local copy is charged to the finish as a self-message so the
+/// scope cannot terminate before the copy completes.
+void start_local_copy(Image& image, const CopyDesc& d, rt::ImplicitOpPtr op,
+                      const net::FinishKey& finish) {
+  const bool odd =
+      finish.valid() ? image.finish_state(finish).present_odd() : false;
+  if (finish.valid()) {
+    image.finish_state(finish).count_sent(odd);
+    image.finish_state(finish).count_sent_dest(image.rank());
+  }
+  const double inject =
+      image.runtime().options().net.bandwidth_bytes_per_us > 0.0
+          ? static_cast<double>(d.bytes) /
+                image.runtime().options().net.bandwidth_bytes_per_us
+          : 0.0;
+  Image* img = &image;
+  image.runtime().engine().post_in(inject, [img, d, op, finish, odd] {
+    std::memcpy(d.dst_local, d.src_local, d.bytes);
+    if (op) {
+      op->data_complete = true;
+      op->op_complete = true;
+    }
+    if (finish.valid()) {
+      rt::FinishState& state = img->finish_state(finish);
+      state.count_delivered(odd);
+      state.count_received(odd);
+      state.count_completed(odd);
+    }
+    post_done(*img, d.src_done);
+    post_done(*img, d.dst_done);
+    img->runtime().engine().unblock(img->rank());
+  });
+}
+
+/// Source buffer is local to \p image, destination is a remote coarray
+/// block: a one-sided put. The source buffer is read at staging time.
+void start_put(Image& image, const CopyDesc& d, rt::ImplicitOpPtr op,
+               const net::FinishKey& finish) {
+  net::MessageHeader header =
+      header_for(image, d.dst_image, rt::kHandlerCopyPut, finish);
+
+  PutWire wire{d.dst_coarray, d.dst_offset_bytes, d.dst_done};
+  const void* src = d.src_local;
+  const std::uint64_t bytes = d.bytes;
+  auto read = [wire, src, bytes] {
+    WriteArchive archive;
+    archive.write(wire);
+    archive.write_bytes(src, bytes);
+    return archive.take();
+  };
+
+  Image* img = &image;
+  const RemoteEvent src_done = d.src_done;
+  net::SendCallbacks callbacks;
+  callbacks.on_staged = [img, op, src_done] {
+    if (op) {
+      op->data_complete = true;
+    }
+    post_done(*img, src_done);
+    img->runtime().engine().unblock(img->rank());
+  };
+  callbacks.on_acked = [img, op] {
+    if (op) {
+      op->op_complete = true;
+    }
+    img->runtime().engine().unblock(img->rank());
+  };
+  image.send_staged_message(header, sizeof(PutWire) + bytes, std::move(read),
+                            std::move(callbacks));
+}
+
+/// Destination buffer is local to \p image, source is a remote coarray
+/// block: a get, implemented as request + staged response.
+void start_get(Image& image, const CopyDesc& d, rt::ImplicitOpPtr op,
+               const net::FinishKey& finish) {
+  Image* img = &image;
+  void* dst = d.dst_local;
+  const std::uint64_t bytes = d.bytes;
+  const RemoteEvent dst_done = d.dst_done;
+  const std::uint64_t sink_id =
+      image.stash_get([img, dst, bytes, op, dst_done](
+                          std::span<const std::uint8_t> data) {
+        CAF2_ASSERT(data.size() == bytes, "get response size mismatch");
+        std::memcpy(dst, data.data(), data.size());
+        if (op) {
+          op->data_complete = true;
+          op->op_complete = true;
+        }
+        post_done(*img, dst_done);
+        img->runtime().engine().unblock(img->rank());
+      });
+
+  net::Message message;
+  message.header =
+      header_for(image, d.src_image, rt::kHandlerCopyGetReq, finish);
+  WriteArchive archive;
+  archive.write(GetReqWire{d.src_coarray, d.src_offset_bytes, d.bytes,
+                           sink_id, d.src_done});
+  message.payload = archive.take();
+  image.send_message(std::move(message));
+}
+
+/// Neither end point is local: forward control to the source image, which
+/// performs the transfer (a local copy or a put) on the initiator's behalf.
+void start_forward(Image& image, const CopyDesc& d, rt::ImplicitOpPtr op,
+                   const net::FinishKey& finish) {
+  if (op) {
+    op->data_complete = true;  // no initiator-local buffers are involved
+  }
+  net::Message message;
+  message.header =
+      header_for(image, d.src_image, rt::kHandlerCopyForward, finish);
+  WriteArchive archive;
+  archive.write(ForwardWire{d.dst_coarray, d.dst_offset_bytes,
+                            d.dst_image, d.src_coarray, d.src_offset_bytes,
+                            d.bytes, d.src_done, d.dst_done});
+  message.payload = archive.take();
+
+  Image* img = &image;
+  net::SendCallbacks callbacks;
+  callbacks.on_acked = [img, op] {
+    if (op) {
+      op->op_complete = true;  // pair-wise communication involving the
+                               // initiator (the control message) is done
+    }
+    img->runtime().engine().unblock(img->rank());
+  };
+  image.send_message(std::move(message), std::move(callbacks));
+}
+
+void execute_plan(Image& image, const CopyDesc& d, rt::ImplicitOpPtr op,
+                  const net::FinishKey& finish) {
+  if (d.src_local != nullptr && d.dst_local != nullptr) {
+    start_local_copy(image, d, std::move(op), finish);
+  } else if (d.src_local != nullptr) {
+    start_put(image, d, std::move(op), finish);
+  } else if (d.dst_local != nullptr) {
+    start_get(image, d, std::move(op), finish);
+  } else {
+    start_forward(image, d, std::move(op), finish);
+  }
+}
+
+}  // namespace
+
+void copy_async_bytes(CopyDesc desc) {
+  Image& image = Image::current();
+
+  // Normalize: slices that live on the initiating image become raw local
+  // pointers, so the dispatch below only distinguishes local vs. remote.
+  if (desc.dst_local == nullptr && desc.dst_image == image.rank()) {
+    const rt::BlockInfo block = image.lookup_block(desc.dst_coarray);
+    CAF2_REQUIRE(desc.dst_offset_bytes + desc.bytes <= block.bytes,
+                 "copy_async: destination slice out of range");
+    desc.dst_local =
+        static_cast<std::uint8_t*>(block.data) + desc.dst_offset_bytes;
+  }
+  if (desc.src_local == nullptr && desc.src_image == image.rank()) {
+    const rt::BlockInfo block = image.lookup_block(desc.src_coarray);
+    CAF2_REQUIRE(desc.src_offset_bytes + desc.bytes <= block.bytes,
+                 "copy_async: source slice out of range");
+    desc.src_local = static_cast<const std::uint8_t*>(block.data) +
+                     desc.src_offset_bytes;
+  }
+
+  // Implicit completion iff no completion events were supplied (paper §III:
+  // the predicate event does not manage completion).
+  const bool implicit = !desc.src_done.valid() && !desc.dst_done.valid();
+  rt::ImplicitOpPtr op;
+  if (implicit) {
+    op = image.register_implicit(desc.src_local != nullptr,
+                                 desc.dst_local != nullptr, "copy_async");
+  }
+  const net::FinishKey finish =
+      implicit ? image.current_finish() : net::FinishKey{};
+
+  if (!desc.pre.valid()) {
+    execute_plan(image, desc, std::move(op), finish);
+    return;
+  }
+
+  // Predicated copy: defer initiation until preE fires. A tracked deferred
+  // copy is charged to the finish immediately (a self-message that completes
+  // when the predicate fires), so the scope cannot terminate while the copy
+  // is still waiting on its predicate.
+  const bool odd =
+      finish.valid() ? image.finish_state(finish).present_odd() : false;
+  if (finish.valid()) {
+    image.finish_state(finish).count_sent(odd);
+    image.finish_state(finish).count_sent_dest(image.rank());
+  }
+  Image* img = &image;
+  CopyDesc inner = desc;
+  inner.pre = RemoteEvent{};
+  auto plan = [img, inner, op, finish, odd] {
+    if (finish.valid()) {
+      rt::FinishState& state = img->finish_state(finish);
+      state.count_delivered(odd);
+      state.count_received(odd);
+      state.count_completed(odd);
+      img->runtime().engine().unblock(img->rank());
+    }
+    execute_plan(*img, inner, op, finish);
+  };
+
+  if (desc.pre.image == image.rank()) {
+    Event* pre = image.find_event(desc.pre.event_id);
+    CAF2_REQUIRE(pre != nullptr, "copy_async: unknown local predicate event");
+    pre->when_posted(std::move(plan));
+    return;
+  }
+
+  // Remote predicate: stash the plan here, arm a trigger on the predicate's
+  // owner, which fires a control message back when the event posts.
+  const std::uint64_t plan_id = image.stash_plan(std::move(plan));
+  net::Message arm;
+  arm.header = header_for(image, desc.pre.image, rt::kHandlerCopyArmPre,
+                          net::FinishKey{});
+  WriteArchive archive;
+  archive.write(ArmWire{desc.pre.event_id, plan_id, image.rank()});
+  arm.payload = archive.take();
+  image.send_message(std::move(arm));
+}
+
+void install_copy_handlers(rt::Runtime& runtime) {
+  runtime.set_handler(
+      rt::kHandlerCopyPut, [](Image& image, net::Message&& message) {
+        ReadArchive archive(message.payload);
+        const auto wire = archive.read<PutWire>();
+        const rt::BlockInfo block = image.lookup_block(wire.dst_coarray);
+        const std::size_t bytes = archive.remaining();
+        CAF2_REQUIRE(wire.dst_offset_bytes + bytes <= block.bytes,
+                     "copy_async put out of range at destination");
+        archive.read_bytes(
+            static_cast<std::uint8_t*>(block.data) + wire.dst_offset_bytes,
+            bytes);
+        if (wire.dst_done.valid()) {
+          rt::post_event_raw(image.runtime(), image.rank(), wire.dst_done);
+        }
+      });
+
+  runtime.set_handler(
+      rt::kHandlerCopyGetReq, [](Image& image, net::Message&& message) {
+        ReadArchive archive(message.payload);
+        const auto wire = archive.read<GetReqWire>();
+        const rt::BlockInfo block = image.lookup_block(wire.src_coarray);
+        CAF2_REQUIRE(wire.src_offset_bytes + wire.bytes <= block.bytes,
+                     "copy_async get out of range at source");
+        const std::uint8_t* src =
+            static_cast<const std::uint8_t*>(block.data) +
+            wire.src_offset_bytes;
+
+        net::MessageHeader resp = header_for(
+            image, message.header.source, rt::kHandlerCopyGetResp,
+            message.header.tracked ? message.header.finish
+                                   : net::FinishKey{});
+        const std::uint64_t bytes = wire.bytes;
+        const std::uint64_t sink = wire.sink_id;
+        auto read = [src, bytes, sink] {
+          WriteArchive out;
+          out.write(GetRespWire{sink});
+          out.write_bytes(src, bytes);
+          return out.take();
+        };
+        Image* img = &image;
+        const RemoteEvent src_done = wire.src_done;
+        net::SendCallbacks callbacks;
+        callbacks.on_staged = [img, src_done] {
+          if (src_done.valid()) {
+            rt::post_event_raw(img->runtime(), img->rank(), src_done);
+          }
+        };
+        image.send_staged_message(resp, sizeof(GetRespWire) + bytes,
+                                  std::move(read), std::move(callbacks));
+      });
+
+  runtime.set_handler(
+      rt::kHandlerCopyGetResp, [](Image& image, net::Message&& message) {
+        ReadArchive archive(message.payload);
+        const auto wire = archive.read<GetRespWire>();
+        const std::size_t data_size = archive.remaining();
+        std::span<const std::uint8_t> data(
+            message.payload.data() + (message.payload.size() - data_size),
+            data_size);
+        image.complete_get(wire.sink_id, data);
+      });
+
+  runtime.set_handler(
+      rt::kHandlerCopyForward, [](Image& image, net::Message&& message) {
+        ReadArchive archive(message.payload);
+        const auto wire = archive.read<ForwardWire>();
+        const rt::BlockInfo src_block = image.lookup_block(wire.src_coarray);
+        CAF2_REQUIRE(wire.src_offset_bytes + wire.bytes <= src_block.bytes,
+                     "forwarded copy out of range at source");
+
+        CopyDesc d;
+        d.src_image = image.rank();
+        d.src_local = static_cast<const std::uint8_t*>(src_block.data) +
+                      wire.src_offset_bytes;
+        d.dst_image = wire.dst_image;
+        d.dst_coarray = wire.dst_coarray;
+        d.dst_offset_bytes = wire.dst_offset_bytes;
+        d.bytes = wire.bytes;
+        d.src_done = wire.src_done;
+        d.dst_done = wire.dst_done;
+        const net::FinishKey finish = message.header.tracked
+                                          ? message.header.finish
+                                          : net::FinishKey{};
+        if (wire.dst_image == image.rank()) {
+          const rt::BlockInfo dst_block =
+              image.lookup_block(wire.dst_coarray);
+          CAF2_REQUIRE(
+              wire.dst_offset_bytes + wire.bytes <= dst_block.bytes,
+              "forwarded copy out of range at destination");
+          d.dst_local = static_cast<std::uint8_t*>(dst_block.data) +
+                        wire.dst_offset_bytes;
+          start_local_copy(image, d, nullptr, finish);
+        } else {
+          start_put(image, d, nullptr, finish);
+        }
+      });
+
+  runtime.set_handler(
+      rt::kHandlerCopyArmPre, [](Image& image, net::Message&& message) {
+        ReadArchive archive(message.payload);
+        const auto wire = archive.read<ArmWire>();
+        Event* event = image.find_event(wire.event_id);
+        CAF2_REQUIRE(event != nullptr,
+                     "copy_async: unknown remote predicate event");
+        rt::Runtime* runtime = &image.runtime();
+        const int me = image.rank();
+        event->when_posted([runtime, me, wire] {
+          net::Message fire;
+          fire.header.source = me;
+          fire.header.dest = wire.initiator;
+          fire.header.handler = rt::kHandlerCopyFire;
+          WriteArchive out;
+          out.write(FireWire{wire.plan_id});
+          fire.payload = out.take();
+          runtime->network().send(std::move(fire));
+        });
+      });
+
+  runtime.set_handler(rt::kHandlerCopyFire,
+                      [](Image& image, net::Message&& message) {
+                        ReadArchive archive(message.payload);
+                        const auto wire = archive.read<FireWire>();
+                        image.fire_plan(wire.plan_id);
+                      });
+}
+
+}  // namespace caf2::ops

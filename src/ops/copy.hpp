@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file copy.hpp
+/// Predicated asynchronous copy — CAF 2.0's one-sided data transfer
+/// (paper §II-C1):
+///
+///     copy_async(destA[p1], srcA[p2], preE, srcE, destE)
+///
+/// Any image may initiate a copy between any pair of images (including
+/// third-party transfers where the initiator is neither source nor
+/// destination). Three optional events manage its completion:
+///  - preE:  the copy starts only after this event has been posted;
+///  - srcE:  posted when the source buffer has been read (it may be
+///           overwritten afterwards);
+///  - destE: posted when the data has been delivered to the destination.
+///
+/// A copy given neither srcE nor destE is *implicitly synchronized*: its
+/// completion is managed by cofence (local data completion) and an enclosing
+/// finish block (global completion). A copy with completion events is
+/// explicit and is not tracked by cofence/finish (paper §III).
+
+#include <span>
+
+#include "runtime/coarray.hpp"
+#include "runtime/event.hpp"
+#include "runtime/image.hpp"
+
+namespace caf2 {
+
+struct CopyOptions {
+  RemoteEvent pre{};       ///< predicate: start only after this event fires
+  RemoteEvent src_done{};  ///< source read complete (source reusable)
+  RemoteEvent dst_done{};  ///< data delivered to the destination
+};
+
+namespace ops {
+
+/// Byte-level descriptor; the typed wrappers below populate it.
+struct CopyDesc {
+  // Destination: either a coarray block on dst_image, or initiator-local raw
+  // memory (dst_local != nullptr, dst_image == initiator).
+  std::uint64_t dst_coarray = 0;
+  std::uint64_t dst_offset_bytes = 0;
+  int dst_image = -1;
+  void* dst_local = nullptr;
+
+  // Source: same shape.
+  std::uint64_t src_coarray = 0;
+  std::uint64_t src_offset_bytes = 0;
+  int src_image = -1;
+  const void* src_local = nullptr;
+
+  std::uint64_t bytes = 0;
+
+  RemoteEvent pre{};
+  RemoteEvent src_done{};
+  RemoteEvent dst_done{};
+};
+
+/// Initiate the copy described by \p desc on the calling image.
+void copy_async_bytes(CopyDesc desc);
+
+/// Install the copy handlers (called from caf2::run).
+void install_copy_handlers(rt::Runtime& runtime);
+
+}  // namespace ops
+
+/// Put: initiator-local memory -> remote (or local) coarray slice.
+template <typename T>
+void copy_async(RemoteSlice<T> dst, std::span<const T> src,
+                CopyOptions options = {}) {
+  CAF2_REQUIRE(dst.count == src.size(),
+               "copy_async: element counts differ");
+  ops::CopyDesc desc;
+  desc.dst_coarray = dst.coarray_id;
+  desc.dst_offset_bytes = dst.offset * sizeof(T);
+  desc.dst_image = dst.image;
+  desc.src_image = rt::Image::current().rank();
+  desc.src_local = src.data();
+  desc.bytes = src.size() * sizeof(T);
+  desc.pre = options.pre;
+  desc.src_done = options.src_done;
+  desc.dst_done = options.dst_done;
+  ops::copy_async_bytes(desc);
+}
+
+/// Get: remote (or local) coarray slice -> initiator-local memory.
+template <typename T>
+void copy_async(std::span<T> dst, RemoteSlice<T> src,
+                CopyOptions options = {}) {
+  CAF2_REQUIRE(src.count == dst.size(),
+               "copy_async: element counts differ");
+  ops::CopyDesc desc;
+  desc.dst_image = rt::Image::current().rank();
+  desc.dst_local = dst.data();
+  desc.src_coarray = src.coarray_id;
+  desc.src_offset_bytes = src.offset * sizeof(T);
+  desc.src_image = src.image;
+  desc.bytes = dst.size() * sizeof(T);
+  desc.pre = options.pre;
+  desc.src_done = options.src_done;
+  desc.dst_done = options.dst_done;
+  ops::copy_async_bytes(desc);
+}
+
+/// General form: coarray slice to coarray slice; the initiator may be the
+/// source image, the destination image, a third party, or both end points.
+template <typename T>
+void copy_async(RemoteSlice<T> dst, RemoteSlice<T> src,
+                CopyOptions options = {}) {
+  CAF2_REQUIRE(dst.count == src.count,
+               "copy_async: element counts differ");
+  ops::CopyDesc desc;
+  desc.dst_coarray = dst.coarray_id;
+  desc.dst_offset_bytes = dst.offset * sizeof(T);
+  desc.dst_image = dst.image;
+  desc.src_coarray = src.coarray_id;
+  desc.src_offset_bytes = src.offset * sizeof(T);
+  desc.src_image = src.image;
+  desc.bytes = src.count * sizeof(T);
+  desc.pre = options.pre;
+  desc.src_done = options.src_done;
+  desc.dst_done = options.dst_done;
+  ops::copy_async_bytes(desc);
+}
+
+}  // namespace caf2

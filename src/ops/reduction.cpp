@@ -1,0 +1,4 @@
+#include "ops/reduction.hpp"
+
+// Reducers are fully inline; this translation unit anchors the header in the
+// ops library.

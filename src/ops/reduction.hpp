@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file reduction.hpp
+/// Type-erased element-wise reduction operators for collective operations.
+///
+/// Collective payloads travel as raw bytes; a Reducer describes how to
+/// combine two buffers element-wise. Built-in operators cover the usual
+/// arithmetic/logical reductions over the common scalar types; custom
+/// combine functions can be wrapped with make_reducer.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace caf2 {
+
+enum class RedOp : std::uint8_t {
+  kSum,
+  kProd,
+  kMin,
+  kMax,
+  kBand,  ///< bitwise and (integral types only)
+  kBor,   ///< bitwise or (integral types only)
+  kBxor,  ///< bitwise xor (integral types only)
+};
+
+namespace ops {
+
+/// Combines `count` elements of `in` into `acc` element-wise.
+using CombineFn = void (*)(void* acc, const void* in, std::size_t count);
+
+struct Reducer {
+  std::size_t elem_size = 0;
+  CombineFn combine = nullptr;
+
+  bool valid() const { return combine != nullptr && elem_size > 0; }
+};
+
+namespace detail {
+template <typename T, RedOp Op>
+void combine_impl(void* acc_raw, const void* in_raw, std::size_t count) {
+  T* acc = static_cast<T*>(acc_raw);
+  const T* in = static_cast<const T*>(in_raw);
+  for (std::size_t i = 0; i < count; ++i) {
+    if constexpr (Op == RedOp::kSum) {
+      acc[i] = static_cast<T>(acc[i] + in[i]);
+    } else if constexpr (Op == RedOp::kProd) {
+      acc[i] = static_cast<T>(acc[i] * in[i]);
+    } else if constexpr (Op == RedOp::kMin) {
+      acc[i] = in[i] < acc[i] ? in[i] : acc[i];
+    } else if constexpr (Op == RedOp::kMax) {
+      acc[i] = acc[i] < in[i] ? in[i] : acc[i];
+    } else if constexpr (Op == RedOp::kBand) {
+      acc[i] = static_cast<T>(acc[i] & in[i]);
+    } else if constexpr (Op == RedOp::kBor) {
+      acc[i] = static_cast<T>(acc[i] | in[i]);
+    } else {
+      acc[i] = static_cast<T>(acc[i] ^ in[i]);
+    }
+  }
+}
+}  // namespace detail
+
+/// Reducer for element type T and built-in operator \p op.
+template <typename T>
+Reducer make_reducer(RedOp op) {
+  constexpr bool integral = std::is_integral_v<T>;
+  Reducer reducer;
+  reducer.elem_size = sizeof(T);
+  switch (op) {
+    case RedOp::kSum:
+      reducer.combine = &detail::combine_impl<T, RedOp::kSum>;
+      break;
+    case RedOp::kProd:
+      reducer.combine = &detail::combine_impl<T, RedOp::kProd>;
+      break;
+    case RedOp::kMin:
+      reducer.combine = &detail::combine_impl<T, RedOp::kMin>;
+      break;
+    case RedOp::kMax:
+      reducer.combine = &detail::combine_impl<T, RedOp::kMax>;
+      break;
+    case RedOp::kBand:
+    case RedOp::kBor:
+    case RedOp::kBxor:
+      CAF2_REQUIRE(integral, "bitwise reductions require an integral type");
+      if constexpr (integral) {
+        if (op == RedOp::kBand) {
+          reducer.combine = &detail::combine_impl<T, RedOp::kBand>;
+        } else if (op == RedOp::kBor) {
+          reducer.combine = &detail::combine_impl<T, RedOp::kBor>;
+        } else {
+          reducer.combine = &detail::combine_impl<T, RedOp::kBxor>;
+        }
+      }
+      break;
+  }
+  CAF2_ASSERT(reducer.valid(), "unhandled reduction operator");
+  return reducer;
+}
+
+namespace detail {
+template <typename T, auto F>
+void custom_combine(void* acc, const void* in, std::size_t count) {
+  F(static_cast<T*>(acc), static_cast<const T*>(in), count);
+}
+}  // namespace detail
+
+/// Reducer wrapping a custom combine function (a function pointer or
+/// captureless lambda taking `(T* acc, const T* in, std::size_t count)`).
+template <typename T, auto F>
+Reducer make_custom_reducer() {
+  Reducer reducer;
+  reducer.elem_size = sizeof(T);
+  reducer.combine = &detail::custom_combine<T, F>;
+  return reducer;
+}
+
+}  // namespace ops
+}  // namespace caf2

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file spawn.hpp
+/// Function shipping (paper §II-C2):
+///
+///     spawn(e) foo(A[p], B(i))[p]       (CAF 2.0)
+///     caf2::spawn<foo>(e, p, A.ref(), B[i]);   (this library)
+///
+/// A shipped function executes on the target image's thread, inside the
+/// dynamic extent of the finish scope that was active at the spawn site, so
+/// transitively spawned work is tracked by the same finish. Scalar/array
+/// arguments are marshalled by value; coarray sections travel by reference
+/// (pass Coarray<T>::ref(), which resolves to the *target's* local block).
+///
+/// The optional completion event is notified when the shipped function
+/// finishes executing on the target. Shipped functions may themselves spawn,
+/// initiate asynchronous operations, and use cofence (which then only covers
+/// operations the shipped function initiated — paper Fig. 10); they must not
+/// enter finish blocks or collectives (those are SPMD constructs).
+///
+/// The marshalled argument payload must fit in a medium active message
+/// (NetworkParams::max_medium_payload) — the same limit that caps steal
+/// batches in the paper's UTS implementation.
+
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/event.hpp"
+#include "runtime/image.hpp"
+#include "support/serialize.hpp"
+
+namespace caf2 {
+
+namespace ops {
+
+/// In-process stand-in for a registered remote-handler index.
+using TrampolineFn = void (*)(ReadArchive&);
+
+/// Ship `fn(args)` to \p target (world rank). \p done, if valid, is notified
+/// when execution completes on the target.
+void spawn_bytes(int target, TrampolineFn fn,
+                 std::vector<std::uint8_t> args, RemoteEvent done);
+
+void install_spawn_handlers(rt::Runtime& runtime);
+
+namespace detail {
+template <auto Fn, typename... Decayed>
+void trampoline(ReadArchive& archive) {
+  // Braced initialization guarantees left-to-right evaluation, matching the
+  // write order on the initiator.
+  std::tuple<Decayed...> args{archive.read<Decayed>()...};
+  std::apply(Fn, std::move(args));
+}
+
+template <typename... Args>
+std::vector<std::uint8_t> marshal(const Args&... args) {
+  WriteArchive archive;
+  (archive.write(args), ...);
+  return archive.take();
+}
+}  // namespace detail
+
+}  // namespace ops
+
+/// Ship function \p Fn to \p target_image (world rank), fire-and-forget.
+template <auto Fn, typename... Args>
+void spawn(int target_image, Args&&... args) {
+  ops::spawn_bytes(
+      target_image,
+      &ops::detail::trampoline<Fn, std::decay_t<Args>...>,
+      ops::detail::marshal<std::decay_t<Args>...>(args...), RemoteEvent{});
+}
+
+/// Ship function \p Fn; \p done is notified when execution completes on the
+/// target image.
+template <auto Fn, typename... Args>
+void spawn(const RemoteEvent& done, int target_image, Args&&... args) {
+  ops::spawn_bytes(
+      target_image,
+      &ops::detail::trampoline<Fn, std::decay_t<Args>...>,
+      ops::detail::marshal<std::decay_t<Args>...>(args...), done);
+}
+
+template <auto Fn, typename... Args>
+void spawn(Event& done, int target_image, Args&&... args) {
+  spawn<Fn>(done.handle(), target_image, std::forward<Args>(args)...);
+}
+
+}  // namespace caf2

@@ -1,0 +1,31 @@
+#include "runtime/coarray.hpp"
+
+#include "runtime/image.hpp"
+
+namespace caf2::rt {
+
+std::uint64_t coarray_allocate_id(const Team& team) {
+  // Ids are a deterministic function of the per-team allocation sequence;
+  // SPMD discipline (every member allocates at the same program point) makes
+  // them agree across images without communication.
+  Image& image = Image::current();
+  CAF2_REQUIRE(team.valid(), "coarray allocation over an invalid team");
+  const std::uint64_t seq = image.next_coarray_seq(team.id());
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(team.id()))
+          << 32) |
+         seq;
+}
+
+void coarray_register(std::uint64_t id, BlockInfo info) {
+  Image::current().register_block(id, info);
+}
+
+void coarray_deregister(std::uint64_t id) {
+  Image::current().deregister_block(id);
+}
+
+BlockInfo coarray_lookup(std::uint64_t id) {
+  return Image::current().lookup_block(id);
+}
+
+}  // namespace caf2::rt

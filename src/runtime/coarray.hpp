@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file coarray.hpp
+/// Coarrays — shared distributed data objects allocated over a team.
+///
+/// A Coarray<T> gives each member of a team a local block of `count`
+/// elements. The local block is directly addressable; other images' blocks
+/// are addressed through RemoteSlice handles and manipulated only with
+/// asynchronous operations (copy_async) or shipped functions (Coref), which
+/// is exactly the PGAS discipline the paper's runtime enforces over GASNet.
+///
+/// Allocation is collective in SPMD order: every member must construct the
+/// coarray at the same point of the program, which makes the ids agree
+/// without communication (the ids are a deterministic function of the
+/// per-team allocation sequence).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/team.hpp"
+#include "support/error.hpp"
+
+namespace caf2 {
+
+namespace rt {
+class Image;
+}
+
+/// Serializable reference to `count` elements starting at element `offset`
+/// of the block of coarray `coarray_id` local to world-rank `image`.
+template <typename T>
+struct RemoteSlice {
+  std::uint64_t coarray_id = 0;
+  std::int32_t image = -1;  ///< world rank owning the referenced block
+  std::uint64_t offset = 0; ///< element offset within the block
+  std::uint64_t count = 0;  ///< element count
+
+  bool valid() const { return image >= 0; }
+
+  std::size_t size_bytes() const { return count * sizeof(T); }
+
+  /// Sub-slice relative to this slice.
+  RemoteSlice subslice(std::uint64_t first, std::uint64_t n) const {
+    CAF2_REQUIRE(first + n <= count, "RemoteSlice::subslice out of range");
+    return RemoteSlice{coarray_id, image, offset + first, n};
+  }
+
+  /// Single element.
+  RemoteSlice element(std::uint64_t index) const { return subslice(index, 1); }
+};
+
+/// Serializable by-reference coarray argument for shipped functions: it
+/// resolves to the block local to whichever image *executes* the function
+/// (paper §II-C2: "a reference to coarray A is passed to the shipped
+/// function; thus foo can manipulate the section of coarray A local to p").
+template <typename T>
+struct Coref {
+  std::uint64_t coarray_id = 0;
+  std::uint64_t count = 0;
+
+  /// Block of the executing image; only valid on a member of the team the
+  /// coarray was allocated over.
+  std::span<T> local() const;
+};
+
+namespace rt {
+/// Non-templated registry entry for one image's block of one coarray.
+struct BlockInfo {
+  void* data = nullptr;
+  std::size_t bytes = 0;
+};
+}  // namespace rt
+
+template <typename T>
+class Coarray {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "coarray elements must be trivially copyable (they travel "
+                "through one-sided transfers)");
+
+  /// Collective over \p team: every member allocates `count` local elements.
+  Coarray(const Team& team, std::size_t count);
+  ~Coarray();
+
+  Coarray(const Coarray&) = delete;
+  Coarray& operator=(const Coarray&) = delete;
+
+  /// The calling image's block.
+  std::span<T> local() { return {storage_.data(), storage_.size()}; }
+  std::span<const T> local() const { return {storage_.data(), storage_.size()}; }
+
+  T& operator[](std::size_t index) { return storage_[index]; }
+  const T& operator[](std::size_t index) const { return storage_[index]; }
+
+  std::size_t count() const { return storage_.size(); }
+  const Team& team() const { return team_; }
+  std::uint64_t id() const { return id_; }
+
+  /// Slice of the block owned by \p team_rank.
+  RemoteSlice<T> operator()(int team_rank) const {
+    return slice(team_rank, 0, storage_.size());
+  }
+
+  RemoteSlice<T> slice(int team_rank, std::uint64_t offset,
+                       std::uint64_t n) const {
+    CAF2_REQUIRE(offset + n <= storage_.size(),
+                 "Coarray::slice out of range");
+    return RemoteSlice<T>{id_, team_.world_rank(team_rank), offset, n};
+  }
+
+  /// By-reference handle for shipped-function arguments.
+  Coref<T> ref() const { return Coref<T>{id_, storage_.size()}; }
+
+ private:
+  Team team_;
+  std::uint64_t id_ = 0;
+  std::vector<T> storage_;
+};
+
+namespace rt {
+/// Registry plumbing implemented in coarray.cpp (non-templated so the
+/// template stays header-only).
+std::uint64_t coarray_allocate_id(const Team& team);
+void coarray_register(std::uint64_t id, BlockInfo info);
+void coarray_deregister(std::uint64_t id);
+BlockInfo coarray_lookup(std::uint64_t id);
+}  // namespace rt
+
+template <typename T>
+Coarray<T>::Coarray(const Team& team, std::size_t count)
+    : team_(team), id_(rt::coarray_allocate_id(team)), storage_(count) {
+  rt::coarray_register(
+      id_, rt::BlockInfo{storage_.data(), storage_.size() * sizeof(T)});
+}
+
+template <typename T>
+Coarray<T>::~Coarray() {
+  rt::coarray_deregister(id_);
+}
+
+template <typename T>
+std::span<T> Coref<T>::local() const {
+  const rt::BlockInfo info = rt::coarray_lookup(coarray_id);
+  CAF2_ASSERT(info.bytes == count * sizeof(T),
+              "Coref element type/size mismatch");
+  return {static_cast<T*>(info.data), static_cast<std::size_t>(count)};
+}
+
+}  // namespace caf2

@@ -1,0 +1,41 @@
+#include "runtime/cofence_tracker.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace caf2::rt {
+
+void CofenceScope::prune() {
+  std::erase_if(ops_, [](const ImplicitOpPtr& op) {
+    return op->data_complete && op->op_complete;
+  });
+}
+
+bool CofenceScope::data_complete_for(PassClass down) {
+  prune();
+  // An op that both reads and writes local data must wait unless *both*
+  // classes are allowed to pass: letting (say) reads pass has no practical
+  // effect if the op's write must still be ordered (paper §III-B).
+  return std::all_of(ops_.begin(), ops_.end(), [&](const ImplicitOpPtr& op) {
+    const bool read_held = op->reads_local && !allows_read(down);
+    const bool write_held = op->writes_local && !allows_write(down);
+    if (!read_held && !write_held) {
+      return true;  // allowed to pass the fence
+    }
+    return op->data_complete;
+  });
+}
+
+bool CofenceScope::op_complete_all() {
+  prune();
+  return std::all_of(ops_.begin(), ops_.end(),
+                     [](const ImplicitOpPtr& op) { return op->op_complete; });
+}
+
+void CofenceTracker::pop_scope() {
+  CAF2_ASSERT(stack_.size() > 1, "cannot pop the root cofence scope");
+  stack_.pop_back();
+}
+
+}  // namespace caf2::rt

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file cofence_tracker.hpp
+/// Tracking of implicitly-synchronized asynchronous operations for cofence.
+///
+/// Every asynchronous operation initiated *without* explicit completion
+/// events is registered here. A record remembers whether the operation reads
+/// and/or writes initiator-local data and whether each completion point has
+/// been reached. `cofence(DOWNWARD, UPWARD)` then waits for local data
+/// completion of the outstanding records whose access class is not allowed
+/// to pass the fence (paper §III-B).
+///
+/// Scopes nest dynamically: a shipped function executing on an image pushes
+/// a fresh scope, so a cofence inside it only captures operations that the
+/// shipped function itself initiated (paper Fig. 10).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace caf2::rt {
+
+/// Which access classes may pass across a cofence in a given direction.
+/// (caf2 public API re-exports this as caf2::Pass.)
+enum class PassClass : std::uint8_t {
+  kNone = 0,   ///< strict: nothing passes (the default)
+  kRead = 1,   ///< operations that read initiator-local data may pass
+  kWrite = 2,  ///< operations that write initiator-local data may pass
+  kAny = 3,    ///< reads and writes may pass
+};
+
+inline bool allows_read(PassClass c) {
+  return c == PassClass::kRead || c == PassClass::kAny;
+}
+inline bool allows_write(PassClass c) {
+  return c == PassClass::kWrite || c == PassClass::kAny;
+}
+
+/// One implicitly-synchronized asynchronous operation.
+struct ImplicitOp {
+  std::uint64_t id = 0;
+  bool reads_local = false;   ///< reads initiator-local data (e.g. put source)
+  bool writes_local = false;  ///< writes initiator-local data (e.g. get dest)
+  bool data_complete = false; ///< local data completion reached
+  bool op_complete = false;   ///< local operation completion reached
+  const char* what = "";      ///< diagnostic label ("copy_async", ...)
+};
+
+using ImplicitOpPtr = std::shared_ptr<ImplicitOp>;
+
+/// The per-activation list of outstanding implicit operations.
+class CofenceScope {
+ public:
+  void add(ImplicitOpPtr op) { ops_.push_back(std::move(op)); }
+
+  /// True when every outstanding op whose class must not pass \p down has
+  /// reached local data completion. Also prunes fully-completed records.
+  bool data_complete_for(PassClass down);
+
+  /// True when every outstanding op has reached local *operation*
+  /// completion (used by event_notify's release semantics).
+  bool op_complete_all();
+
+  std::size_t outstanding() const { return ops_.size(); }
+
+ private:
+  void prune();
+  std::vector<ImplicitOpPtr> ops_;
+};
+
+/// Stack of scopes; the bottom scope is the image's main program, further
+/// scopes are pushed around shipped-function executions.
+class CofenceTracker {
+ public:
+  CofenceTracker() { stack_.emplace_back(); }
+
+  CofenceScope& current() { return stack_.back(); }
+
+  void push_scope() { stack_.emplace_back(); }
+  void pop_scope();
+
+  std::size_t depth() const { return stack_.size(); }
+
+ private:
+  std::vector<CofenceScope> stack_;
+};
+
+}  // namespace caf2::rt

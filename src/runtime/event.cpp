@@ -1,0 +1,146 @@
+#include "runtime/event.hpp"
+
+#include "runtime/image.hpp"
+#include "runtime/runtime.hpp"
+#include "support/serialize.hpp"
+
+namespace caf2 {
+
+Event::Event() : owner_(&rt::Image::current()) {
+  id_ = owner_->register_event(this);
+}
+
+Event::~Event() { owner_->deregister_event(id_); }
+
+RemoteEvent Event::handle() const {
+  return RemoteEvent{owner_->rank(), id_};
+}
+
+void Event::post() {
+  if (!triggers_.empty()) {
+    auto trigger = std::move(triggers_.front());
+    triggers_.pop_front();
+    trigger();
+    return;
+  }
+  ++count_;
+  owner_->runtime().engine().unblock(owner_->rank());
+}
+
+void Event::when_posted(std::function<void()> fn) {
+  if (count_ > 0) {
+    --count_;
+    fn();
+    return;
+  }
+  triggers_.push_back(std::move(fn));
+}
+
+void Event::notify() {
+  // Release semantics (paper §III-B4a): outstanding implicit operations in
+  // the current scope must reach local operation completion before the
+  // notification becomes visible; operations *after* the notify are free to
+  // start before it.
+  rt::Image& image = rt::Image::current();
+  auto& scope = image.cofence_tracker().current();
+  image.wait_for([&scope] { return scope.op_complete_all(); },
+                 "event_notify release");
+  post();
+}
+
+void Event::wait() { wait_many(1); }
+
+void Event::wait_many(std::uint64_t count) {
+  rt::Image& image = rt::Image::current();
+  CAF2_REQUIRE(owner_ == &image,
+               "event_wait must be called by the owning image");
+  image.wait_for([this, count] { return count_ >= count; }, "event_wait");
+  count_ -= count;
+}
+
+bool Event::test() {
+  if (count_ == 0) {
+    return false;
+  }
+  --count_;
+  return true;
+}
+
+namespace rt {
+
+/// Route a notification to \p event without release semantics. Safe from any
+/// context (engine callbacks pass an explicit \p from_rank); latency is
+/// modeled whenever the event lives on another image.
+void post_event_raw(Runtime& runtime, int from_rank, const RemoteEvent& event) {
+  CAF2_REQUIRE(event.valid(), "notification of an invalid RemoteEvent");
+  if (event.image == from_rank) {
+    Image& owner = runtime.image(event.image);
+    Event* local = owner.find_event(event.event_id);
+    CAF2_REQUIRE(local != nullptr, "notification of a destroyed event");
+    local->post();
+    return;
+  }
+  net::Message message;
+  message.header.source = from_rank;
+  message.header.dest = event.image;
+  message.header.handler = kHandlerEventNotify;
+  WriteArchive archive;
+  archive.write(event.event_id);
+  message.payload = archive.take();
+  runtime.network().send(std::move(message));
+}
+
+void install_event_handlers(Runtime& runtime) {
+  runtime.set_handler(kHandlerEventNotify,
+                      [](Image& image, net::Message&& message) {
+                        ReadArchive archive(message.payload);
+                        const auto id = archive.read<std::uint64_t>();
+                        Event* event = image.find_event(id);
+                        CAF2_REQUIRE(event != nullptr,
+                                     "remote notification of a destroyed event");
+                        event->post();
+                      });
+}
+
+}  // namespace rt
+
+void notify_event(const RemoteEvent& event) {
+  rt::Image& image = rt::Image::current();
+  auto& scope = image.cofence_tracker().current();
+  image.wait_for([&scope] { return scope.op_complete_all(); },
+                 "event_notify release");
+  rt::post_event_raw(image.runtime(), image.rank(), event);
+}
+
+CoEvent::CoEvent(const Team& team)
+    : team_(team),
+      slot_(rt::Image::current().next_coevent_slot(team.id())) {
+  // Alias id is a deterministic function of (team, slot), identical on every
+  // member, so remote handles can be formed without communication.
+  const std::uint64_t alias =
+      (1ULL << 63) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(team.id()))
+       << 32) |
+      slot_;
+  rt::Image::current().register_event_alias(alias, &local_event_);
+}
+
+CoEvent::~CoEvent() {
+  const std::uint64_t alias =
+      (1ULL << 63) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(team_.id()))
+       << 32) |
+      slot_;
+  rt::Image::current().deregister_event(alias);
+}
+
+RemoteEvent CoEvent::operator()(int team_rank) const {
+  const std::uint64_t alias =
+      (1ULL << 63) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(team_.id()))
+       << 32) |
+      slot_;
+  return RemoteEvent{team_.world_rank(team_rank), alias};
+}
+
+}  // namespace caf2

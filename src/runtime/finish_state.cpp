@@ -1,0 +1,4 @@
+#include "runtime/finish_state.hpp"
+
+// FinishState is fully inline; this translation unit anchors the header in
+// the runtime library.

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file finish_state.hpp
+/// Per-image accounting for one finish scope — the data structure behind the
+/// paper's termination-detection algorithm (paper Fig. 7).
+///
+/// Each image keeps, per finish scope, two sets of four counters (an *even*
+/// and an *odd* epoch):
+///   sent       messages this image sent, charged to this finish;
+///   delivered  of those, how many have been acknowledged as delivered;
+///   received   tracked messages that arrived at this image;
+///   completed  of those, how many finished executing locally.
+///
+/// The image is in the even epoch initially; it proceeds into the odd epoch
+/// when it enters a detection allreduce or when it receives a message whose
+/// sender was in an odd epoch. It proceeds back into an even epoch when it
+/// exits the allreduce, at which point the odd counters fold into the even
+/// ones. Counter updates for a message always use the *message's* parity so
+/// a reduction wave sums a consistent cut.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace caf2::rt {
+
+struct EpochCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t received = 0;
+  std::uint64_t completed = 0;
+
+  void fold_from(EpochCounters& other) {
+    sent += other.sent;
+    delivered += other.delivered;
+    received += other.received;
+    completed += other.completed;
+    other = EpochCounters{};
+  }
+};
+
+class FinishState {
+ public:
+  /// --- counter updates (parity = the message's epoch) ----------------------
+  void count_sent(bool odd) { epoch(odd).sent += 1; }
+  void count_delivered(bool odd) { epoch(odd).delivered += 1; }
+  void count_received(bool odd) { epoch(odd).received += 1; }
+  void count_completed(bool odd) { epoch(odd).completed += 1; }
+
+  /// Receiving a message from an odd-epoch sender moves this image into its
+  /// odd epoch (paper Fig. 7 line 32), so its subsequent sends carry odd
+  /// parity and are excluded from the in-flight reduction wave.
+  void on_receive_parity(bool odd) {
+    if (odd) {
+      present_odd_ = true;
+    }
+  }
+
+  /// Parity that new sends from this image must carry.
+  bool present_odd() const { return present_odd_; }
+
+  /// Quiescence precondition (paper Fig. 7 line 4): every message this image
+  /// sent in the even epoch has landed, and every message it received in the
+  /// even epoch has completed execution. Waiting for this before reducing is
+  /// what bounds detection to L+1 rounds (paper Theorem 1).
+  bool even_quiesced() const {
+    return even_.sent == even_.delivered && even_.received == even_.completed;
+  }
+
+  /// Enter a detection allreduce: proceed into the odd epoch.
+  void enter_allreduce() { present_odd_ = true; }
+
+  /// The value this image contributes to the detection sum.
+  std::int64_t even_deficit() const {
+    return static_cast<std::int64_t>(even_.sent) -
+           static_cast<std::int64_t>(even_.completed);
+  }
+
+  /// Exit a detection allreduce: fold the odd counters into the even epoch
+  /// and proceed into (the next) even epoch.
+  void exit_allreduce() {
+    even_.fold_from(odd_);
+    present_odd_ = false;
+    ++rounds_;
+  }
+
+  const EpochCounters& even() const { return even_; }
+  const EpochCounters& odd() const { return odd_; }
+
+  /// Detection allreduce rounds performed so far (reported by the Fig. 18
+  /// benchmark).
+  int rounds() const { return rounds_; }
+
+  /// True once detection declared global termination for this scope.
+  bool terminated() const { return terminated_; }
+  void mark_terminated() { terminated_ = true; }
+
+  /// The image has entered the end-finish statement (used to assert against
+  /// counting into a scope that already completed).
+  bool entered() const { return entered_; }
+  void mark_entered() { entered_ = true; }
+
+  /// --- epoch-free totals (used by the baseline detectors of §V) -----------
+
+  std::uint64_t sent_total() const { return even_.sent + odd_.sent; }
+  std::uint64_t delivered_total() const {
+    return even_.delivered + odd_.delivered;
+  }
+  std::uint64_t received_total() const {
+    return even_.received + odd_.received;
+  }
+  std::uint64_t completed_total() const {
+    return even_.completed + odd_.completed;
+  }
+  bool quiesced_totals() const {
+    return sent_total() == delivered_total() &&
+           received_total() == completed_total();
+  }
+
+  /// Per-destination send counts (world ranks), maintained for the X10-style
+  /// centralized vector-counting detector.
+  void count_sent_dest(int dest) {
+    if (sent_to_.size() <= static_cast<std::size_t>(dest)) {
+      sent_to_.resize(static_cast<std::size_t>(dest) + 1, 0);
+    }
+    sent_to_[static_cast<std::size_t>(dest)] += 1;
+  }
+  const std::vector<std::int64_t>& sent_to() const { return sent_to_; }
+
+ private:
+  EpochCounters& epoch(bool odd) { return odd ? odd_ : even_; }
+
+  EpochCounters even_{};
+  EpochCounters odd_{};
+  std::vector<std::int64_t> sent_to_;
+  bool present_odd_ = false;
+  bool entered_ = false;
+  bool terminated_ = false;
+  int rounds_ = 0;
+};
+
+}  // namespace caf2::rt

@@ -1,0 +1,222 @@
+#pragma once
+
+/// \file image.hpp
+/// Per-process-image runtime state and the progress engine.
+///
+/// An Image is the runtime context of one CAF process image: its finish
+/// accounting, cofence scopes, event/coarray/team registries, pending
+/// collective states, and the progress engine that executes incoming active
+/// messages. Exactly one Image exists per simulation participant; the
+/// executing image is reachable via Image::current() on participant threads.
+///
+/// Threading discipline: the simulation engine runs at most one context at a
+/// time (a participant *or* an engine callback), so Image state needs no
+/// locking. Engine callbacks may mutate any image's state through explicit
+/// references but must not block; only the image's own thread may call the
+/// blocking entry points (wait_for, advance).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "runtime/coarray.hpp"
+#include "runtime/cofence_tracker.hpp"
+#include "runtime/event.hpp"
+#include "runtime/finish_state.hpp"
+#include "runtime/ids.hpp"
+#include "runtime/team.hpp"
+#include "support/rng.hpp"
+
+namespace caf2::rt {
+
+class Runtime;
+
+/// Marker for whether a message participates in finish accounting.
+enum class Tracking : std::uint8_t { kUntracked, kTracked };
+
+/// A buffered or dispatched collective stage message.
+struct CollStageMsg {
+  int stage = 0;
+  int from_team_rank = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// Base class of per-collective state machines (implemented in ops).
+class CollBase {
+ public:
+  virtual ~CollBase() = default;
+
+  /// Deliver one stage message; \p image is the image this state lives on.
+  virtual void on_stage(Image& image, CollStageMsg&& msg) = 0;
+
+  /// True once the operation is finished on this image and the state can be
+  /// discarded.
+  virtual bool finished() const = 0;
+};
+
+/// Buffered messages + (once locally started) the live state machine for a
+/// collective instance.
+struct PendingColl {
+  std::unique_ptr<CollBase> op;
+  std::vector<CollStageMsg> buffered;
+};
+
+class Image {
+ public:
+  Image(Runtime& runtime, int rank, std::uint64_t seed);
+  ~Image();
+
+  Image(const Image&) = delete;
+  Image& operator=(const Image&) = delete;
+
+  /// The image executing on the calling participant thread.
+  static Image& current();
+  static bool has_current();
+
+  int rank() const { return rank_; }
+  int num_images() const;
+  Runtime& runtime() { return runtime_; }
+  Xoshiro256ss& rng() { return rng_; }
+
+  /// --- progress engine -----------------------------------------------------
+
+  /// Execute all currently-delivered messages (handlers run inline and may
+  /// themselves block, re-entering progress — GASNet-style).
+  void progress();
+
+  /// Block until \p pred holds, executing incoming messages while waiting.
+  /// \p reason appears in deadlock diagnostics.
+  void wait_for(const std::function<bool()>& pred, const char* reason);
+
+  /// --- finish accounting ---------------------------------------------------
+
+  /// The innermost active finish scope (invalid key if none).
+  net::FinishKey current_finish() const;
+  void push_finish(const net::FinishKey& key);
+  void pop_finish();
+  std::uint32_t next_finish_seq(int team_id);
+
+  /// Per-scope state, created on demand (messages may arrive before this
+  /// image enters the matching finish block).
+  FinishState& finish_state(const net::FinishKey& key);
+  bool has_finish_state(const net::FinishKey& key) const;
+  void erase_finish_state(const net::FinishKey& key);
+
+  /// --- message send helpers ------------------------------------------------
+
+  /// Build a header for a message from this image. When \p tracking is
+  /// kTracked and a finish scope is active, the header carries the scope key
+  /// and this image's present epoch parity; otherwise the message is
+  /// untracked.
+  net::MessageHeader make_header(int dest_world, net::HandlerId handler,
+                                 Tracking tracking);
+
+  /// Send with finish accounting: counts `sent` now and `delivered` when the
+  /// delivery acknowledgement returns, then invokes \p callbacks.
+  void send_message(net::Message message, net::SendCallbacks callbacks = {});
+
+  /// Staged variant (source buffer read at injection time); see
+  /// net::Network::send_staged.
+  void send_staged_message(net::MessageHeader header, std::size_t size_hint,
+                           std::function<std::vector<std::uint8_t>()> read,
+                           net::SendCallbacks callbacks = {});
+
+  /// --- cofence -------------------------------------------------------------
+
+  CofenceTracker& cofence_tracker() { return cofence_; }
+
+  /// Register an implicitly-synchronized operation in the current scope.
+  ImplicitOpPtr register_implicit(bool reads_local, bool writes_local,
+                                  const char* what);
+
+  /// --- events --------------------------------------------------------------
+
+  std::uint64_t register_event(Event* event);
+  void register_event_alias(std::uint64_t alias, Event* event);
+  void deregister_event(std::uint64_t id);
+  Event* find_event(std::uint64_t id);
+
+  /// --- coarrays ------------------------------------------------------------
+
+  std::uint64_t next_coarray_seq(int team_id);
+  void register_block(std::uint64_t id, BlockInfo info);
+  void deregister_block(std::uint64_t id);
+  BlockInfo lookup_block(std::uint64_t id) const;
+
+  /// --- teams ---------------------------------------------------------------
+
+  Team world_team() const;
+  void add_team(std::shared_ptr<const TeamData> data);
+  std::shared_ptr<const TeamData> find_team(int id) const;
+  std::uint32_t next_split_seq(int team_id);
+  std::uint64_t next_coevent_slot(int team_id);
+
+  /// --- collectives ---------------------------------------------------------
+
+  PendingColl& coll_state(const CollKey& key);
+  void erase_coll_state(const CollKey& key);
+  std::uint32_t next_coll_seq(int team_id);
+
+  /// --- deferred copy plans (predicated copies) -----------------------------
+
+  std::uint64_t stash_plan(std::function<void()> plan);
+  /// Run and discard plan \p id (no-op with a diagnostic failure if absent).
+  void fire_plan(std::uint64_t id);
+
+  /// Fresh id for implicit-op / plan correlation.
+  std::uint64_t next_op_id() { return ++op_id_counter_; }
+
+  /// --- pending-get destinations --------------------------------------------
+  /// A get's destination pointer lives on the initiator until the response
+  /// arrives; responses carry the plan id that retrieves it.
+  std::uint64_t stash_get(std::function<void(std::span<const std::uint8_t>)> sink);
+  void complete_get(std::uint64_t id, std::span<const std::uint8_t> data);
+
+ private:
+  friend class Runtime;
+
+  void execute(net::Message&& message);
+
+  Runtime& runtime_;
+  int rank_;
+  Xoshiro256ss rng_;
+
+  // finish
+  std::vector<net::FinishKey> finish_stack_;
+  std::unordered_map<net::FinishKey, FinishState> finish_states_;
+  std::unordered_map<int, std::uint32_t> finish_seqs_;
+
+  // cofence
+  CofenceTracker cofence_;
+
+  // events
+  std::uint64_t event_id_counter_ = 0;
+  std::unordered_map<std::uint64_t, Event*> events_;
+
+  // coarrays
+  std::unordered_map<int, std::uint64_t> coarray_seqs_;
+  std::unordered_map<std::uint64_t, BlockInfo> blocks_;
+
+  // teams
+  std::unordered_map<int, std::shared_ptr<const TeamData>> teams_;
+  std::unordered_map<int, std::uint32_t> split_seqs_;
+  std::unordered_map<int, std::uint64_t> coevent_slots_;
+
+  // collectives
+  std::map<CollKey, PendingColl> colls_;
+  std::unordered_map<int, std::uint32_t> coll_seqs_;
+
+  // deferred plans / get sinks
+  std::uint64_t op_id_counter_ = 0;
+  std::unordered_map<std::uint64_t, std::function<void()>> plans_;
+  std::unordered_map<std::uint64_t,
+                     std::function<void(std::span<const std::uint8_t>)>>
+      get_sinks_;
+};
+
+}  // namespace caf2::rt

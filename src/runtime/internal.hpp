@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file internal.hpp
+/// Runtime-internal entry points shared between the runtime library and the
+/// operation layers (ops, core). Not part of the public API.
+
+#include "runtime/event.hpp"
+#include "runtime/image.hpp"
+#include "runtime/runtime.hpp"
+
+namespace caf2::rt {
+
+/// Route a notification to an event without release semantics. Safe from
+/// engine-callback context; models network latency when the event is remote
+/// to \p from_rank.
+void post_event_raw(Runtime& runtime, int from_rank, const RemoteEvent& event);
+
+/// Install the runtime's own handlers (remote event notification).
+void install_event_handlers(Runtime& runtime);
+
+}  // namespace caf2::rt

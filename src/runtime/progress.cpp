@@ -1,0 +1,82 @@
+#include "runtime/image.hpp"
+#include "runtime/runtime.hpp"
+
+/// \file progress.cpp
+/// The progress engine: executes delivered active messages on the owning
+/// image's thread. Handlers run inline and may block (a cofence inside a
+/// shipped function re-enters progress, GASNet-style), so progress is
+/// reentrant; stack discipline applies — an outer wait cannot resume until a
+/// nested handler returns.
+
+namespace caf2::rt {
+
+void Image::execute(net::Message&& message) {
+  const net::MessageHeader header = message.header;  // copy: payload moves on
+  const HandlerFn& handler = runtime_.handler(header.handler);
+
+  const double handler_cost = runtime_.options().net.handler_cost_us;
+  if (handler_cost > 0.0) {
+    runtime_.engine().advance(handler_cost);
+  }
+
+  if (!header.tracked) {
+    handler(*this, std::move(message));
+    return;
+  }
+
+  // Tracked message: update the four-counter epoch accounting around the
+  // execution (paper Fig. 7 message_handler). Reception from an odd-epoch
+  // sender moves this image into its odd epoch; the message's own counts
+  // always use the *message's* parity so reduction waves see consistent
+  // cuts.
+  {
+    FinishState& state = finish_state(header.finish);
+    state.on_receive_parity(header.from_odd_epoch);
+    state.count_received(header.from_odd_epoch);
+  }
+
+  // The handler executes in the dynamic extent of the initiating finish:
+  // operations it initiates (transitively shipped functions, implicit
+  // copies) are charged to the same scope.
+  push_finish(header.finish);
+  try {
+    handler(*this, std::move(message));
+  } catch (...) {
+    pop_finish();
+    throw;
+  }
+  pop_finish();
+  // Re-look-up: the handler may have created finish states (early-arriving
+  // messages for other scopes), which can rehash the map.
+  finish_state(header.finish).count_completed(header.from_odd_epoch);
+  // Completion may satisfy a teammate-visible predicate only through
+  // counters on this image; wake ourselves so an enclosing quiescence wait
+  // re-evaluates.
+  runtime_.engine().unblock(rank_);
+}
+
+void Image::progress() {
+  net::Mailbox& mail = runtime_.network().mailbox(rank_);
+  while (auto message = mail.try_pop()) {
+    execute(std::move(*message));
+  }
+}
+
+void Image::wait_for(const std::function<bool()>& pred, const char* reason) {
+  net::Mailbox& mail = runtime_.network().mailbox(rank_);
+  for (;;) {
+    if (pred()) {
+      return;
+    }
+    progress();
+    if (pred()) {
+      return;
+    }
+    if (!mail.empty()) {
+      continue;  // a nested handler left mail behind; keep draining
+    }
+    runtime_.engine().block(reason);
+  }
+}
+
+}  // namespace caf2::rt

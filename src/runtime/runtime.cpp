@@ -1,0 +1,130 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+
+#include "sim/participant.hpp"
+
+namespace caf2::rt {
+
+namespace {
+thread_local Image* tls_image = nullptr;
+thread_local Runtime* tls_runtime = nullptr;
+
+/// Exit rendezvous: images leave the SPMD body collectively so that no image
+/// tears down while teammates still expect its participation. Implemented as
+/// a shared counter (a runtime service, not a modeled collective).
+struct ExitGate {
+  int expected = 0;
+  int arrived = 0;
+};
+}  // namespace
+
+Image& Image::current() {
+  CAF2_REQUIRE(tls_image != nullptr,
+               "no current image: this call must run on an image thread");
+  return *tls_image;
+}
+
+bool Image::has_current() { return tls_image != nullptr; }
+
+Runtime& Runtime::current() {
+  CAF2_REQUIRE(tls_runtime != nullptr,
+               "no current runtime: this call must run on an image thread");
+  return *tls_runtime;
+}
+
+Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
+  CAF2_REQUIRE(options_.num_images > 0, "need at least one image");
+  sim::EngineOptions engine_options;
+  engine_options.record_trace = options_.record_trace;
+  engine_options.max_events = options_.max_events;
+  engine_options.label = options_.label;
+  engine_ = std::make_unique<sim::Engine>(options_.num_images,
+                                          std::move(engine_options));
+  network_ = std::make_unique<net::Network>(*engine_, options_.net,
+                                            SplitMix64(options_.seed).child(0));
+  SplitMix64 seeder(options_.seed);
+  images_.reserve(static_cast<std::size_t>(options_.num_images));
+  for (int rank = 0; rank < options_.num_images; ++rank) {
+    images_.push_back(std::make_unique<Image>(
+        *this, rank, seeder.child(static_cast<std::uint64_t>(rank) + 1)));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::set_handler(net::HandlerId id, HandlerFn fn) {
+  handlers_[id] = std::move(fn);
+}
+
+const HandlerFn& Runtime::handler(net::HandlerId id) const {
+  auto it = handlers_.find(id);
+  CAF2_ASSERT(it != handlers_.end(),
+              "no handler installed for id " + std::to_string(id));
+  return it->second;
+}
+
+void Runtime::run(const std::function<void()>& body) {
+  CAF2_REQUIRE(!ran_, "Runtime::run() may only be called once");
+  ran_ = true;
+
+  auto gate = std::make_shared<ExitGate>();
+  gate->expected = num_images();
+
+  engine_->run([this, &body, gate](int id) {
+    tls_image = images_[static_cast<std::size_t>(id)].get();
+    tls_runtime = this;
+    try {
+      body();
+      // Collective exit: wait until every image finished its body so that
+      // in-flight messages (e.g. steals landing on an already-done image)
+      // still find a live progress engine.
+      Image& self = *tls_image;
+      gate->arrived += 1;
+      if (gate->arrived == gate->expected) {
+        for (int rank = 0; rank < num_images(); ++rank) {
+          if (rank != id) {
+            engine_->unblock(rank);
+          }
+        }
+      } else {
+        self.wait_for([&] { return gate->arrived == gate->expected; },
+                      "exit rendezvous");
+      }
+      tls_image = nullptr;
+      tls_runtime = nullptr;
+    } catch (...) {
+      tls_image = nullptr;
+      tls_runtime = nullptr;
+      throw;
+    }
+  });
+}
+
+SplitOp& Runtime::split_op(int team_id, std::uint32_t seq, int expected) {
+  SplitOp& op = splits_[{team_id, seq}];
+  if (op.expected == 0) {
+    op.expected = expected;
+  }
+  CAF2_ASSERT(op.expected == expected, "team_split rendezvous mismatch");
+  return op;
+}
+
+void Runtime::gc_split_op(int team_id, std::uint32_t seq) {
+  int& done = split_done_count_[{team_id, seq}];
+  done += 1;
+  auto it = splits_.find({team_id, seq});
+  CAF2_ASSERT(it != splits_.end(), "gc of unknown split op");
+  if (done == it->second.expected) {
+    splits_.erase(it);
+    split_done_count_.erase({team_id, seq});
+  }
+}
+
+int Runtime::allocate_team_ids(int count) {
+  const int base = next_team_id_;
+  next_team_id_ += count;
+  return base;
+}
+
+}  // namespace caf2::rt

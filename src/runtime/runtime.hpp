@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file runtime.hpp
+/// The Runtime owns the simulation engine, the network, one Image per
+/// process image, the active-message handler table, and the shared services
+/// that are logically "in the interconnect" (team-split rendezvous).
+///
+/// Application code normally does not touch Runtime directly; it calls
+/// caf2::run(options, body) (core/caf2.hpp), which installs the standard
+/// handlers and executes `body` SPMD on every image.
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "runtime/image.hpp"
+#include "sim/engine.hpp"
+#include "support/config.hpp"
+
+namespace caf2::rt {
+
+/// Active-message handler: runs on the destination image's thread with the
+/// message's finish scope pushed; may initiate operations, spawn, and (for
+/// shipped functions) block.
+using HandlerFn = std::function<void(Image&, net::Message&&)>;
+
+/// Rendezvous state of one team_split call (keyed by team + split sequence).
+struct SplitOp {
+  int expected = 0;
+  int contributed = 0;
+  bool computed = false;
+  /// (color, key) per old-team rank.
+  std::map<int, std::pair<int, int>> entries;
+  /// Result per old-team rank (null for members that passed a negative
+  /// color, which opts out of the split).
+  std::map<int, std::shared_ptr<const TeamData>> results;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Execute \p body SPMD on every image. A runtime can run once.
+  void run(const std::function<void()>& body);
+
+  /// Runtime of the calling participant thread.
+  static Runtime& current();
+
+  const RuntimeOptions& options() const { return options_; }
+  sim::Engine& engine() { return *engine_; }
+  net::Network& network() { return *network_; }
+  Image& image(int rank) { return *images_[static_cast<std::size_t>(rank)]; }
+  int num_images() const { return static_cast<int>(images_.size()); }
+
+  /// Install or replace an active-message handler.
+  void set_handler(net::HandlerId id, HandlerFn fn);
+  const HandlerFn& handler(net::HandlerId id) const;
+
+  /// --- team-split rendezvous (shared service) -------------------------------
+
+  SplitOp& split_op(int team_id, std::uint32_t seq, int expected);
+  void gc_split_op(int team_id, std::uint32_t seq);
+  int allocate_team_ids(int count);
+
+ private:
+  RuntimeOptions options_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<Image>> images_;
+  std::map<net::HandlerId, HandlerFn> handlers_;
+  std::map<std::pair<int, std::uint32_t>, SplitOp> splits_;
+  std::map<std::pair<int, std::uint32_t>, int> split_done_count_;
+  int next_team_id_ = 1;  // 0 is team_world
+  bool ran_ = false;
+};
+
+}  // namespace caf2::rt

@@ -1,0 +1,281 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace caf2::sim {
+
+namespace {
+struct TlsContext {
+  Engine* engine = nullptr;
+  int id = -1;
+};
+thread_local TlsContext tls_context;
+}  // namespace
+
+Engine* Engine::current_engine() { return tls_context.engine; }
+int Engine::current_id() { return tls_context.id; }
+
+Engine::Engine(int participants, EngineOptions options)
+    : options_(std::move(options)) {
+  CAF2_REQUIRE(participants > 0, "Engine needs at least one participant");
+  participants_.reserve(static_cast<std::size_t>(participants));
+  for (int i = 0; i < participants; ++i) {
+    auto participant = std::make_unique<Participant>();
+    participant->id = i;
+    participants_.push_back(std::move(participant));
+  }
+}
+
+Engine::~Engine() {
+  // run() joins all threads; nothing to do unless run() was never called.
+}
+
+double Engine::now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_us_;
+}
+
+std::uint64_t Engine::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dispatched_;
+}
+
+void Engine::record(TraceKind kind, int participant) {
+  if (!options_.record_trace) {
+    return;
+  }
+  trace_.push_back(TraceEntry{trace_.size(), now_us_, kind, participant});
+}
+
+void Engine::fail_locked(std::unique_lock<std::mutex>& lock,
+                         const std::string& why) {
+  (void)lock;
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  failure_reason_ = options_.label + ": " + why;
+  for (auto& participant : participants_) {
+    participant->cv.notify_all();
+  }
+  done_cv_.notify_all();
+}
+
+void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    if (failed_) {
+      return;
+    }
+    if (finished_count_ == size()) {
+      done_cv_.notify_all();
+      return;
+    }
+    if (heap_.empty()) {
+      std::ostringstream os;
+      os << "deadlock: no pending events; blocked participants:";
+      for (const auto& participant : participants_) {
+        if (participant->state != PState::kFinished) {
+          os << " p" << participant->id;
+          if (!participant->block_reason.empty()) {
+            os << "(" << participant->block_reason << ")";
+          }
+        }
+      }
+      fail_locked(lock, os.str());
+      return;
+    }
+    if (options_.max_events != 0 && dispatched_ >= options_.max_events) {
+      fail_locked(lock, "simulation event budget exceeded");
+      return;
+    }
+
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    ++dispatched_;
+    now_us_ = std::max(now_us_, event.at);
+
+    if (event.call) {
+      record(TraceKind::kCall, -1);
+      // Callbacks (network staging, deliveries, timers) run with the engine
+      // lock released. No participant holds the token here, so callbacks may
+      // freely mutate cross-participant runtime state (mailboxes, counters)
+      // without racing.
+      auto fn = std::move(event.call);
+      lock.unlock();
+      fn();
+      lock.lock();
+      continue;
+    }
+
+    Participant& target = *participants_[event.wake_participant];
+    if (target.state == PState::kFinished || target.active) {
+      continue;  // stale wake
+    }
+    record(TraceKind::kWake, target.id);
+    target.active = true;
+    target.state = PState::kRunnable;
+    target.cv.notify_one();
+    return;
+  }
+}
+
+void Engine::switch_out(std::unique_lock<std::mutex>& lock,
+                        Participant& self) {
+  self.active = false;
+  dispatch_chain(lock);
+  while (!self.active && !failed_) {
+    self.cv.wait(lock);
+  }
+  if (failed_) {
+    throw FatalError(failure_reason_);
+  }
+  self.state = PState::kRunnable;
+  self.block_reason.clear();
+}
+
+void Engine::advance(double dt) {
+  CAF2_REQUIRE(tls_context.engine == this && tls_context.id >= 0,
+               "advance() must be called from a participant thread");
+  CAF2_REQUIRE(dt >= 0.0, "advance() needs a non-negative duration");
+  Participant& self = *participants_[tls_context.id];
+  std::unique_lock<std::mutex> lock(mutex_);
+  CAF2_ASSERT(self.active, "advance() caller does not hold the token");
+  record(TraceKind::kAdvance, self.id);
+  const double target = now_us_ + dt;
+  heap_.push(Event{target, next_seq_++, self.id, nullptr});
+  // Stray wakes (e.g. an unblock() from a completion callback) can activate
+  // this participant before its scheduled resume time; modeled computation
+  // must not finish early, so re-relinquish until the clock reaches the
+  // target (the scheduled wake is still in the heap).
+  do {
+    switch_out(lock, self);
+  } while (now_us_ < target);
+}
+
+void Engine::block(const char* reason) {
+  CAF2_REQUIRE(tls_context.engine == this && tls_context.id >= 0,
+               "block() must be called from a participant thread");
+  Participant& self = *participants_[tls_context.id];
+  std::unique_lock<std::mutex> lock(mutex_);
+  CAF2_ASSERT(self.active, "block() caller does not hold the token");
+  record(TraceKind::kBlock, self.id);
+  self.state = PState::kWaiting;
+  self.block_reason = reason;
+  switch_out(lock, self);
+}
+
+void Engine::unblock(int participant) {
+  CAF2_REQUIRE(participant >= 0 && participant < size(),
+               "unblock(): participant id out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Participant& target = *participants_[participant];
+  if (target.state == PState::kFinished || target.active) {
+    return;
+  }
+  heap_.push(Event{now_us_, next_seq_++, participant, nullptr});
+}
+
+void Engine::post(double at, std::function<void()> fn) {
+  CAF2_REQUIRE(fn != nullptr, "post() needs a callable");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double when = std::max(at, now_us_);
+  Event event;
+  event.at = when;
+  event.seq = next_seq_++;
+  event.wake_participant = -1;
+  event.call = std::move(fn);
+  heap_.push(std::move(event));
+}
+
+void Engine::participant_main(int id, const std::function<void(int)>& body) {
+  tls_context.engine = this;
+  tls_context.id = id;
+  Participant& self = *participants_[id];
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!self.active && !failed_) {
+      self.cv.wait(lock);
+    }
+    if (failed_) {
+      self.state = PState::kFinished;
+      ++finished_count_;
+      done_cv_.notify_all();
+      tls_context = {};
+      return;
+    }
+    self.state = PState::kRunnable;
+  }
+
+  std::exception_ptr error;
+  try {
+    body(id);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  self.state = PState::kFinished;
+  self.active = false;
+  ++finished_count_;
+  record(TraceKind::kFinish, id);
+  if (error) {
+    if (!first_error_) {
+      first_error_ = error;
+    }
+    fail_locked(lock, "participant raised an exception");
+  }
+  if (finished_count_ == size() || failed_) {
+    done_cv_.notify_all();
+  } else {
+    dispatch_chain(lock);
+  }
+  tls_context = {};
+}
+
+void Engine::run(const std::function<void(int)>& body) {
+  CAF2_REQUIRE(!running_, "Engine::run() may only be called once");
+  running_ = true;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& participant : participants_) {
+      heap_.push(Event{0.0, next_seq_++, participant->id, nullptr});
+    }
+  }
+  for (auto& participant : participants_) {
+    participant->thread =
+        std::thread([this, id = participant->id, &body] {
+          participant_main(id, body);
+        });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    dispatch_chain(lock);  // hand the token to participant 0
+    done_cv_.wait(lock, [this] {
+      return finished_count_ == size() || failed_;
+    });
+    if (failed_) {
+      // Every live participant will observe failed_ at its next engine call
+      // (or is already being notified) and unwind.
+      done_cv_.wait(lock, [this] { return finished_count_ == size(); });
+    }
+  }
+
+  for (auto& participant : participants_) {
+    if (participant->thread.joinable()) {
+      participant->thread.join();
+    }
+  }
+
+  if (first_error_) {
+    std::rethrow_exception(first_error_);
+  }
+  if (failed_) {
+    throw FatalError(failure_reason_);
+  }
+}
+
+}  // namespace caf2::sim

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file engine.hpp
+/// Deterministic discrete-event simulation engine.
+///
+/// This is the substrate that substitutes for the paper's Cray XK6/XE6
+/// testbeds (DESIGN.md §1, §4.1). Each CAF process image runs as an OS
+/// thread, but the engine admits exactly **one runnable thread at a time**:
+/// a thread that blocks, advances its virtual clock, or finishes hands the
+/// token to whichever pending event is earliest in *virtual time* (ties
+/// broken by insertion sequence, so runs are fully deterministic).
+///
+/// Three event kinds live in the heap:
+///  - Wake(p, t): hand the token to participant p at time t (created by
+///    advance(), yield(), and unblock());
+///  - Call(f, t): run an engine callback at time t (network staging,
+///    delivery, timers). Callbacks run on whichever thread is dispatching
+///    and must not touch participant-local state or block;
+///  - participants that block without a scheduled wake are resumed only by a
+///    subsequent unblock() from a callback or another participant.
+///
+/// If the heap drains while unfinished participants are blocked, the
+/// simulated program has provably deadlocked; the engine raises a
+/// caf2::FatalError in every participant with a diagnostic listing who was
+/// blocked where.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "support/error.hpp"
+
+namespace caf2::sim {
+
+/// Engine knobs (a subset of caf2::RuntimeOptions relevant to scheduling).
+struct EngineOptions {
+  bool record_trace = false;
+  std::uint64_t max_events = 0;  ///< 0 = unlimited
+  std::string label = "sim";
+};
+
+class Engine {
+ public:
+  Engine(int participants, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Execute \p body SPMD on every participant. Blocks until every
+  /// participant's body returned. Rethrows the first participant exception
+  /// (after unwinding all other participants).
+  void run(const std::function<void(int)>& body);
+
+  /// Number of participants.
+  int size() const { return static_cast<int>(participants_.size()); }
+
+  /// --- calls valid only on a participant thread ---------------------------
+
+  /// Engine owning the calling participant thread (nullptr elsewhere).
+  static Engine* current_engine();
+
+  /// Participant id of the calling thread (-1 elsewhere).
+  static int current_id();
+
+  /// Current virtual time in microseconds.
+  double now() const;
+
+  /// Model local computation: advance virtual time by \p dt microseconds and
+  /// yield to any earlier event.
+  void advance(double dt);
+
+  /// Let all events scheduled at the current time run before continuing.
+  void yield() { advance(0.0); }
+
+  /// Park the calling participant until another participant or a callback
+  /// calls unblock() on it. \p reason appears in deadlock diagnostics.
+  void block(const char* reason = "blocked");
+
+  /// --- calls valid on a participant thread or inside a Call callback ------
+
+  /// Make a blocked participant runnable at the current virtual time.
+  /// Harmless if the participant is already runnable or finished.
+  void unblock(int participant);
+
+  /// Schedule a callback at absolute virtual time \p at (>= now()).
+  void post(double at, std::function<void()> fn);
+
+  /// Schedule a callback \p delay microseconds from now.
+  void post_in(double delay, std::function<void()> fn) {
+    post(now() + delay, std::move(fn));
+  }
+
+  /// --- introspection -------------------------------------------------------
+
+  /// Total events dispatched so far.
+  std::uint64_t event_count() const;
+
+  /// Recorded trace (empty unless EngineOptions::record_trace).
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+ private:
+  enum class PState : std::uint8_t { kIdle, kRunnable, kWaiting, kFinished };
+
+  struct Participant {
+    int id = -1;
+    PState state = PState::kIdle;
+    bool active = false;  ///< holds (or is about to receive) the token
+    std::condition_variable cv;
+    std::thread thread;
+    std::string block_reason;
+  };
+
+  struct Event {
+    double at = 0.0;
+    std::uint64_t seq = 0;
+    int wake_participant = -1;              ///< >= 0 for Wake events
+    std::function<void()> call;             ///< non-null for Call events
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;  // min-heap on time
+      }
+      return a.seq > b.seq;  // FIFO among equal times
+    }
+  };
+
+  friend struct CurrentParticipantGuard;
+
+  void participant_main(int id, const std::function<void(int)>& body);
+
+  /// Relinquish the token. Must be called with mutex_ held by a participant
+  /// that currently has it. Dispatches events until another participant is
+  /// activated (possibly the caller), then waits until re-activated.
+  void switch_out(std::unique_lock<std::mutex>& lock, Participant& self);
+
+  /// Pop and dispatch events until a participant is activated or the heap
+  /// drains. Returns with mutex_ held.
+  void dispatch_chain(std::unique_lock<std::mutex>& lock);
+
+  void fail_locked(std::unique_lock<std::mutex>& lock, const std::string& why);
+
+  void record(TraceKind kind, int participant);
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> heap_;
+  std::vector<std::unique_ptr<Participant>> participants_;
+  EngineOptions options_;
+
+  double now_us_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  int finished_count_ = 0;
+  bool failed_ = false;
+  std::string failure_reason_;
+  std::exception_ptr first_error_;
+  bool running_ = false;
+
+  std::vector<TraceEntry> trace_;
+};
+
+/// RAII helper used in tests to run a closure body on every participant of a
+/// fresh engine with the given options.
+void run_spmd(int participants, const std::function<void(int)>& body,
+              EngineOptions options = {});
+
+}  // namespace caf2::sim

@@ -1,0 +1,31 @@
+#include "sim/participant.hpp"
+
+namespace caf2::sim {
+
+Engine& this_engine() {
+  Engine* engine = Engine::current_engine();
+  CAF2_REQUIRE(engine != nullptr,
+               "this call is only valid on a simulated participant thread");
+  return *engine;
+}
+
+int this_participant() {
+  const int id = Engine::current_id();
+  CAF2_REQUIRE(id >= 0,
+               "this call is only valid on a simulated participant thread");
+  return id;
+}
+
+bool on_participant_thread() { return Engine::current_engine() != nullptr; }
+
+double virtual_now() { return this_engine().now(); }
+
+void virtual_compute(double us) { this_engine().advance(us); }
+
+void run_spmd(int participants, const std::function<void(int)>& body,
+              EngineOptions options) {
+  Engine engine(participants, std::move(options));
+  engine.run(body);
+}
+
+}  // namespace caf2::sim

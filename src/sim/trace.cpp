@@ -1,0 +1,34 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace caf2::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kWake:
+      return "wake";
+    case TraceKind::kCall:
+      return "call";
+    case TraceKind::kBlock:
+      return "block";
+    case TraceKind::kAdvance:
+      return "advance";
+    case TraceKind::kFinish:
+      return "finish";
+  }
+  return "?";
+}
+
+std::string render_trace(const std::vector<TraceEntry>& trace) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  for (const TraceEntry& entry : trace) {
+    os << entry.seq << " t=" << entry.time << " " << to_string(entry.kind)
+       << " p=" << entry.participant << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace caf2::sim

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file trace.hpp
+/// Optional event trace recorded by the simulation engine. Tests use traces
+/// to prove determinism: two runs with the same configuration must produce
+/// byte-identical traces.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace caf2::sim {
+
+enum class TraceKind : std::uint8_t {
+  kWake,      ///< a participant was handed the token
+  kCall,      ///< an engine callback (e.g. network stage/delivery) ran
+  kBlock,     ///< a participant blocked
+  kAdvance,   ///< a participant advanced its clock (modeled compute)
+  kFinish,    ///< a participant's body returned
+};
+
+/// One scheduler decision.
+struct TraceEntry {
+  std::uint64_t seq;   ///< global event sequence number
+  double time;         ///< virtual time in microseconds
+  TraceKind kind;
+  int participant;     ///< subject participant, or -1 for engine calls
+
+  bool operator==(const TraceEntry&) const = default;
+};
+
+/// Render a trace as one line per entry (stable format used in test
+/// comparisons and failure diagnostics).
+std::string render_trace(const std::vector<TraceEntry>& trace);
+
+const char* to_string(TraceKind kind);
+
+}  // namespace caf2::sim

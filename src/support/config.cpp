@@ -1,0 +1,24 @@
+#include "support/config.hpp"
+
+namespace caf2 {
+
+NetworkParams NetworkParams::instant() {
+  NetworkParams params;
+  params.latency_us = 0.0;
+  params.bandwidth_bytes_per_us = 0.0;  // 0 => staging is immediate
+  params.handler_cost_us = 0.0;
+  params.jitter_us = 0.0;
+  params.ack_latency_us = 0.0;
+  return params;
+}
+
+NetworkParams NetworkParams::gemini_like() {
+  NetworkParams params;
+  params.latency_us = 1.5;
+  params.bandwidth_bytes_per_us = 6000.0;
+  params.handler_cost_us = 0.3;
+  params.jitter_us = 0.2;
+  return params;
+}
+
+}  // namespace caf2

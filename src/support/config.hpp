@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file config.hpp
+/// Configuration records for the simulated interconnect and the runtime.
+///
+/// The simulator substitutes for the paper's Cray XK6/XE6 testbed
+/// (DESIGN.md §1). NetworkParams models the interconnect of such a machine:
+/// a per-message wire latency, an injection bandwidth, a per-byte handler
+/// cost at the receiver, and a jitter term that perturbs (and can reorder)
+/// deliveries. RuntimeOptions bundles the complete configuration of one run.
+
+#include <cstdint>
+#include <string>
+
+namespace caf2 {
+
+/// Interconnect model.
+///
+/// All times are in *virtual microseconds* of the discrete-event simulator.
+struct NetworkParams {
+  /// One-way wire latency applied to every message.
+  double latency_us = 2.0;
+
+  /// Injection bandwidth in bytes per microsecond. The source buffer is read
+  /// ("staged") size/bandwidth after initiation; local data completion is
+  /// reached at that point.
+  double bandwidth_bytes_per_us = 2048.0;
+
+  /// Fixed cost of running a message handler at the receiver.
+  double handler_cost_us = 0.2;
+
+  /// Maximum delivery jitter. Each delivery is delayed by a uniform value in
+  /// [0, jitter_us], so messages can arrive out of order (non-FIFO channels;
+  /// the paper's termination-detection algorithm must tolerate this).
+  double jitter_us = 0.0;
+
+  /// Latency applied to a completion acknowledgement (delivery -> initiator).
+  /// Defaults to the wire latency when negative.
+  double ack_latency_us = -1.0;
+
+  /// Largest payload of a "medium" active message, in bytes. GASNet's
+  /// AMMediumPacket limit is what caps UTS steal batches in the paper
+  /// (§IV-C1a); spawns whose marshalled arguments exceed this limit are
+  /// rejected, just as the prototype's steals were.
+  std::uint32_t max_medium_payload = 4096;
+
+  double effective_ack_latency_us() const {
+    return ack_latency_us < 0 ? latency_us : ack_latency_us;
+  }
+
+  /// A zero-latency, zero-cost network; useful in unit tests that only check
+  /// functional behaviour.
+  static NetworkParams instant();
+
+  /// Parameters loosely calibrated to a Gemini-class torus (Jaguar/Hopper
+  /// era): ~1.5 us latency, ~6 GB/s injection.
+  static NetworkParams gemini_like();
+};
+
+/// Complete configuration of a simulated SPMD run.
+struct RuntimeOptions {
+  /// Number of process images (the paper's "cores").
+  int num_images = 4;
+
+  /// Interconnect model.
+  NetworkParams net{};
+
+  /// Master seed; expanded per image / subsystem via SplitMix64.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+
+  /// When true the engine records an event trace (sequence of (time, image,
+  /// kind) triples) that tests use to assert determinism.
+  bool record_trace = false;
+
+  /// Upper bound on executed simulation events; guards against accidental
+  /// infinite message loops in tests. Zero means unlimited.
+  std::uint64_t max_events = 0;
+
+  /// Human-readable label used in error messages and traces.
+  std::string label = "caf2";
+};
+
+}  // namespace caf2

@@ -1,0 +1,24 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace caf2::detail {
+
+namespace {
+std::string format(const char* kind, const char* file, int line,
+                   const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " at " << file << ":" << line << ": " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_usage(const char* file, int line, const std::string& msg) {
+  throw UsageError(format("caf2 usage error", file, line, msg));
+}
+
+void throw_fatal(const char* file, int line, const std::string& msg) {
+  throw FatalError(format("caf2 fatal error", file, line, msg));
+}
+
+}  // namespace caf2::detail

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling for the caf2 runtime.
+///
+/// The runtime distinguishes two failure categories:
+///  - *usage errors* (caller violated an API contract, e.g. a collective on a
+///    team the image is not a member of) -> caf2::UsageError;
+///  - *runtime faults* (internal invariant broken, or the simulation proved a
+///    deadlock) -> caf2::FatalError.
+///
+/// Both derive from std::runtime_error so test code can assert on them.
+
+#include <stdexcept>
+#include <string>
+
+namespace caf2 {
+
+/// Thrown when a public API precondition is violated by the caller.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is broken or the simulated program
+/// deadlocks (no runnable image and no pending events).
+class FatalError : public std::runtime_error {
+ public:
+  explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_usage(const char* file, int line, const std::string& msg);
+[[noreturn]] void throw_fatal(const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace caf2
+
+/// Validate a public API precondition; throws caf2::UsageError on failure.
+#define CAF2_REQUIRE(cond, msg)                                   \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::caf2::detail::throw_usage(__FILE__, __LINE__, (msg));     \
+    }                                                             \
+  } while (0)
+
+/// Validate an internal invariant; throws caf2::FatalError on failure.
+#define CAF2_ASSERT(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::caf2::detail::throw_fatal(__FILE__, __LINE__, (msg));     \
+    }                                                             \
+  } while (0)

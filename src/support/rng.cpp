@@ -1,0 +1,120 @@
+#include "support/rng.hpp"
+
+namespace caf2 {
+
+namespace {
+std::uint64_t splitmix64_step(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t SplitMix64::next() { return splitmix64_step(state_); }
+
+std::uint64_t SplitMix64::child(std::uint64_t index) const {
+  // Mix the index into a copy of the state so children are independent of
+  // each other and of the parent's future output.
+  std::uint64_t s = state_ ^ (0xA0761D6478BD642FULL * (index + 1));
+  return splitmix64_step(s);
+}
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : s_) {
+    word = splitmix64_step(s);
+  }
+}
+
+std::uint64_t Xoshiro256ss::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256ss::next_below(std::uint64_t bound) {
+  if (bound <= 1) {
+    return 0;
+  }
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256ss::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t HpccRandom::starts(std::int64_t n) {
+  // Reference HPCC implementation: express n in binary and use the
+  // "square-and-multiply" analogue over GF(2) matrices represented by the
+  // effect of the recurrence on basis vectors.
+  while (n < 0) {
+    n += kPeriod;
+  }
+  while (n > kPeriod) {
+    n -= kPeriod;
+  }
+  if (n == 0) {
+    return 1;
+  }
+
+  std::uint64_t m2[64];
+  std::uint64_t temp = 1;
+  for (int i = 0; i < 64; ++i) {
+    m2[i] = temp;
+    temp = (temp << 1) ^ ((static_cast<std::int64_t>(temp) < 0) ? kPoly : 0);
+    temp = (temp << 1) ^ ((static_cast<std::int64_t>(temp) < 0) ? kPoly : 0);
+  }
+
+  int i = 62;
+  while (i >= 0 && !((n >> i) & 1)) {
+    --i;
+  }
+
+  std::uint64_t ran = 2;
+  while (i > 0) {
+    temp = 0;
+    for (int j = 0; j < 64; ++j) {
+      if ((ran >> j) & 1) {
+        temp ^= m2[j];
+      }
+    }
+    ran = temp;
+    --i;
+    if ((n >> i) & 1) {
+      ran = (ran << 1) ^ ((static_cast<std::int64_t>(ran) < 0) ? kPoly : 0);
+    }
+  }
+  return ran;
+}
+
+std::uint64_t HpccRandom::next() {
+  const std::uint64_t current = value_;
+  value_ = (value_ << 1) ^
+           ((static_cast<std::int64_t>(value_) < 0) ? kPoly : 0);
+  return current;
+}
+
+}  // namespace caf2

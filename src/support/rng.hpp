@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file rng.hpp
+/// Seeded random number generators used throughout the runtime and kernels.
+///
+/// Everything in caf2 that needs randomness draws from one of these
+/// generators with an explicit seed, so that a simulation run is a pure
+/// function of its configuration: identical seeds yield identical event
+/// orderings, message jitter, steal victims, and benchmark inputs.
+///
+/// Three generators are provided:
+///  - SplitMix64: seed expander / cheap stream splitter;
+///  - Xoshiro256ss: general-purpose generator (jitter, victim selection);
+///  - HpccRandom: the HPC Challenge RandomAccess polynomial stream, including
+///    the logarithmic-time starts() jump function the benchmark requires.
+
+#include <array>
+#include <cstdint>
+
+namespace caf2 {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used to expand a single user seed
+/// into independent per-image / per-subsystem seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next();
+
+  /// Derive the i-th child seed deterministically (does not perturb *this).
+  std::uint64_t child(std::uint64_t index) const;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman, Vigna). Fast, high-quality, 256-bit state.
+class Xoshiro256ss {
+ public:
+  /// Seeds the 256-bit state by running SplitMix64 on \p seed.
+  explicit Xoshiro256ss(std::uint64_t seed);
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// The HPC Challenge RandomAccess pseudo-random stream:
+///   x_{k+1} = (x_k << 1) XOR (x_k < 0 ? POLY : 0)
+/// over the primitive polynomial POLY = 0x7 (x^63 + x^2 + x + 1).
+/// starts(n) computes x_n in O(log n) time, which lets every image begin at
+/// its own offset of the global update stream exactly as the benchmark
+/// specifies.
+class HpccRandom {
+ public:
+  static constexpr std::uint64_t kPoly = 0x0000000000000007ULL;
+  static constexpr std::int64_t kPeriod = 1317624576693539401LL;
+
+  /// Value of the stream at position \p n (n may be negative, taken modulo
+  /// the period as in the reference implementation).
+  static std::uint64_t starts(std::int64_t n);
+
+  /// Construct positioned at stream index \p n.
+  explicit HpccRandom(std::int64_t n = 0) : value_(starts(n)) {}
+
+  /// Current value, then advance one step.
+  std::uint64_t next();
+
+  /// Current value without advancing.
+  std::uint64_t peek() const { return value_; }
+
+ private:
+  std::uint64_t value_;
+};
+
+}  // namespace caf2

@@ -1,0 +1,128 @@
+#include "support/sha1.hpp"
+
+#include <cstring>
+
+namespace caf2 {
+
+namespace {
+std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+}  // namespace
+
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Sha1::Digest Sha1::digest() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad_one = 0x80;
+  update(std::span<const std::uint8_t>(&pad_one, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) {
+    update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::uint8_t length_be[8];
+  for (int i = 0; i < 8; ++i) {
+    length_be[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  update(std::span<const std::uint8_t>(length_be, 8));
+
+  Digest out{};
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (t < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 hasher;
+  hasher.update(data);
+  return hasher.digest();
+}
+
+std::string Sha1::to_hex(const Digest& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * digest.size());
+  for (std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace caf2

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file sha1.hpp
+/// Standalone SHA-1 implementation (FIPS 180-1).
+///
+/// The Unbalanced Tree Search benchmark derives each tree node's 20-byte
+/// descriptor by hashing its parent's descriptor concatenated with the
+/// child's index. The paper's UTS implementation (Olivier et al., LCPC'06)
+/// uses SHA-1 for this purpose; we implement it from scratch so the kernel
+/// has no external dependencies.
+///
+/// SHA-1 is used here purely as a deterministic splittable PRNG; it is not a
+/// security boundary.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace caf2 {
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestBytes = 20;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha1();
+
+  /// Absorb \p data.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Finalize and return the 20-byte digest. The hasher must not be reused
+  /// after calling digest() without calling reset().
+  Digest digest();
+
+  /// Reset to the initial state.
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+
+  /// Hex string of a digest (for tests against published vectors).
+  static std::string to_hex(const Digest& digest);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace caf2

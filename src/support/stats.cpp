@@ -1,0 +1,105 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace caf2 {
+
+void Accumulator::add(double value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Accumulator::mean() const {
+  return count_ == 0 ? 0.0 : mean_;
+}
+
+double Accumulator::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ += delta * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  CAF2_REQUIRE(buckets > 0, "Histogram needs at least one bucket");
+  CAF2_REQUIRE(hi > lo, "Histogram range must be non-empty");
+}
+
+void Histogram::add(double value) {
+  const double frac = (value - lo_) / (hi_ - lo_);
+  auto index = static_cast<std::ptrdiff_t>(
+      frac * static_cast<double>(counts_.size()));
+  index = std::clamp<std::ptrdiff_t>(
+      index, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(index)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t index) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(index) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t index) const {
+  return bucket_lo(index + 1);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (std::uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    os.setf(std::ios::fixed);
+    os.precision(4);
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+double quantile(std::vector<double> samples, double q) {
+  CAF2_REQUIRE(!samples.empty(), "quantile of empty sample set");
+  CAF2_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace caf2

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics helpers used by the benchmark harness: a streaming
+/// accumulator (Welford) and a fixed-width histogram.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace caf2 {
+
+/// Streaming min / max / mean / variance accumulator (Welford's algorithm,
+/// numerically stable).
+class Accumulator {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Merge another accumulator into this one (parallel Welford combine).
+  void merge(const Accumulator& other);
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bucket. Used by the UTS load-balance benchmark (Fig. 16).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double value);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t index) const { return counts_[index]; }
+  double bucket_lo(std::size_t index) const;
+  double bucket_hi(std::size_t index) const;
+  std::uint64_t total() const { return total_; }
+
+  /// Multi-line ASCII rendering (one row per bucket with a proportional bar).
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Quantile of a sample vector (linear interpolation); sorts a copy.
+double quantile(std::vector<double> samples, double q);
+
+}  // namespace caf2

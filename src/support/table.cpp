@@ -1,0 +1,97 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace caf2 {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::columns(std::vector<std::string> names) {
+  headers_ = std::move(names);
+  return *this;
+}
+
+Table& Table::precision(int digits) {
+  precision_ = digits;
+  return *this;
+}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  CAF2_REQUIRE(cells.size() == headers_.size(),
+               "Table row width does not match column count");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render_cell(const Cell& cell) const {
+  if (const auto* text = std::get_if<std::string>(&cell)) {
+    return *text;
+  }
+  if (const auto* integer = std::get_if<long long>(&cell)) {
+    return std::to_string(*integer);
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return os.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(rule, '-') << "\n";
+  for (const auto& row : rendered) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << headers_[c];
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << render_cell(row[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace caf2

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file table.hpp
+/// Console table / CSV printer for the benchmark harness. Every bench binary
+/// prints one table per reproduced figure, with the same rows/series the
+/// paper plots, via this helper.
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace caf2 {
+
+/// A cell is a string, an integer, or a floating value with per-column
+/// precision applied at render time.
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  /// Define the column headers; must be called before add_row.
+  Table& columns(std::vector<std::string> names);
+
+  /// Floating-point digits for double cells (default 3).
+  Table& precision(int digits);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Human-readable aligned rendering (with title and column rule).
+  std::string to_string() const;
+
+  /// Machine-readable CSV (no title).
+  std::string to_csv() const;
+
+  /// Print to stdout (to_string()).
+  void print() const;
+
+ private:
+  std::string render_cell(const Cell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace caf2

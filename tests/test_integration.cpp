@@ -1,0 +1,135 @@
+/// Cross-module integration scenarios: whole kernels on disjoint subteams
+/// concurrently, nested finish around kernels, and a mixed workload using
+/// every construct at once.
+
+#include <gtest/gtest.h>
+
+#include "kernels/randomaccess.hpp"
+#include "kernels/uts_scheduler.hpp"
+
+namespace {
+
+using namespace caf2;
+
+RuntimeOptions int_options(int images) {
+  RuntimeOptions options;
+  options.num_images = images;
+  options.net.latency_us = 2.0;
+  options.net.bandwidth_bytes_per_us = 1000.0;
+  options.net.handler_cost_us = 0.1;
+  options.net.jitter_us = 0.5;
+  options.max_events = 30'000'000;
+  return options;
+}
+
+TEST(Integration, UtsAndRandomAccessOnDisjointSubteams) {
+  // Half the machine runs UTS while the other half runs RandomAccess;
+  // teams isolate their communication, collectives, and finish scopes.
+  kernels::UtsConfig uts_config;
+  uts_config.tree.b0 = 3.0;
+  uts_config.tree.max_depth = 6;
+  const std::uint64_t expected_nodes = uts_config.tree.count_tree();
+
+  kernels::RaConfig ra_config;
+  ra_config.log2_local_table = 6;
+  ra_config.updates_per_image = 128;
+  ra_config.bunch = 32;
+
+  run(int_options(8), [&] {
+    Team world = team_world();
+    const int color = world.rank() < 4 ? 0 : 1;
+    Team half = world.split(color, world.rank());
+    if (color == 0) {
+      const auto stats = kernels::uts_run(half, uts_config);
+      EXPECT_EQ(stats.total_nodes, expected_nodes);
+    } else {
+      const auto stats = kernels::ra_run_function_shipping(half, ra_config);
+      const std::uint64_t expect = kernels::ra_expected_checksum(
+          half.size(), half.rank(), ra_config);
+      EXPECT_EQ(stats.checksum, expect);
+    }
+    team_barrier(world);
+  });
+}
+
+TEST(Integration, BackToBackKernelsOnTheSameTeam) {
+  kernels::UtsConfig uts_config;
+  uts_config.tree.b0 = 3.0;
+  uts_config.tree.max_depth = 5;
+  const std::uint64_t expected_nodes = uts_config.tree.count_tree();
+
+  kernels::RaConfig ra_config;
+  ra_config.log2_local_table = 5;
+  ra_config.updates_per_image = 64;
+  ra_config.bunch = 16;
+
+  run(int_options(4), [&] {
+    Team world = team_world();
+    for (int round = 0; round < 2; ++round) {
+      const auto uts = kernels::uts_run(world, uts_config);
+      EXPECT_EQ(uts.total_nodes, expected_nodes) << "round " << round;
+      const auto ra = kernels::ra_run_function_shipping(world, ra_config);
+      EXPECT_EQ(ra.checksum, kernels::ra_expected_checksum(
+                                 world.size(), world.rank(), ra_config))
+          << "round " << round;
+    }
+  });
+}
+
+void seed_cell(Coref<long> cells, std::int64_t value) {
+  cells.local()[0] += value;
+}
+
+TEST(Integration, EveryConstructInOneScenario) {
+  // spawn + copy_async + collectives + events + cofence + nested finish,
+  // with verifiable final state.
+  run(int_options(6), [] {
+    Team world = team_world();
+    Team pairs = world.split(world.rank() / 2, world.rank());
+    Coarray<long> cells(world, 2);
+    cells[0] = 0;
+    cells[1] = -1;
+    CoEvent ready(world);
+    team_barrier(world);
+
+    finish(world, [&] {
+      // Function shipping into every image.
+      for (int t = 0; t < world.size(); ++t) {
+        spawn<seed_cell>(t, cells.ref(), std::int64_t{world.rank()});
+      }
+      // Nested finish over the pair: swap cell[1] with the partner.
+      finish(pairs, [&] {
+        static thread_local std::vector<long> mine;
+        mine.assign(1, 100L + world.rank());
+        copy_async(cells.slice(pairs.world_rank(1 - pairs.rank()), 1, 1),
+                   std::span<const long>(mine));
+        cofence();  // mine reusable (staged)
+      });
+      // After the nested block the partner's value must be present.
+      const int partner = pairs.world_rank(1 - pairs.rank());
+      EXPECT_EQ(cells[1], 100 + partner);
+      notify_event(ready((world.rank() + 1) % world.size()));
+      ready.local().wait();
+    });
+
+    // Every image received the sum of all ranks via spawns.
+    long expect = 0;
+    for (int r = 0; r < world.size(); ++r) {
+      expect += r;
+    }
+    EXPECT_EQ(cells[0], expect);
+
+    // Collective epilogue over a sorted reduction.
+    std::vector<std::uint64_t> keys{
+        static_cast<std::uint64_t>((world.rank() * 7919) % 101)};
+    Event sorted;
+    sort_async<std::uint64_t>(world, keys, {.src_done = sorted.handle()});
+    sorted.wait();
+    const auto total_keys = allreduce<long>(
+        world, static_cast<long>(keys.size()), RedOp::kSum);
+    EXPECT_EQ(total_keys, world.size());
+    team_barrier(world);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+/// Tests for function shipping: argument marshalling across types, coarray
+/// by-reference semantics, completion events, transitive spawn chains, the
+/// medium-payload limit, and cofence scoping inside shipped functions
+/// (paper Fig. 10).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/caf2.hpp"
+
+namespace {
+
+using namespace caf2;
+
+RuntimeOptions spawn_options(int images) {
+  RuntimeOptions options;
+  options.num_images = images;
+  options.net.latency_us = 2.0;
+  options.net.bandwidth_bytes_per_us = 500.0;
+  options.net.handler_cost_us = 0.1;
+  options.max_events = 5'000'000;
+  return options;
+}
+
+thread_local long tls_sink = 0;
+thread_local std::string tls_text;
+thread_local std::vector<double> tls_vector;
+
+void take_scalars(int a, long b, double c) {
+  tls_sink = a + b + static_cast<long>(c);
+}
+
+void take_string_and_vector(std::string text, std::vector<double> values) {
+  tls_text = std::move(text);
+  tls_vector = std::move(values);
+}
+
+void add_into(Coref<long> counter, long amount) {
+  counter.local()[0] += amount;
+}
+
+void chain_hop(std::int32_t remaining, std::int32_t home,
+               Coref<long> counter) {
+  if (remaining == 0) {
+    counter.local()[0] += 1;
+    return;
+  }
+  const int next = (this_image() + 1) % num_images();
+  spawn<chain_hop>(next, remaining - 1, home, counter);
+}
+
+TEST(Spawn, MarshalsScalars) {
+  run(spawn_options(2), [] {
+    Team world = team_world();
+    tls_sink = 0;
+    team_barrier(world);
+    finish(world, [&] {
+      if (world.rank() == 0) {
+        spawn<take_scalars>(1, 5, 70L, 600.0);
+      }
+    });
+    if (world.rank() == 1) {
+      EXPECT_EQ(tls_sink, 675);
+    }
+    team_barrier(world);
+  });
+}
+
+TEST(Spawn, MarshalsStringsAndVectors) {
+  run(spawn_options(2), [] {
+    Team world = team_world();
+    tls_text.clear();
+    tls_vector.clear();
+    team_barrier(world);
+    finish(world, [&] {
+      if (world.rank() == 0) {
+        spawn<take_string_and_vector>(1, std::string("payload"),
+                                      std::vector<double>{1.5, 2.5});
+      }
+    });
+    if (world.rank() == 1) {
+      EXPECT_EQ(tls_text, "payload");
+      EXPECT_EQ(tls_vector, (std::vector<double>{1.5, 2.5}));
+    }
+    team_barrier(world);
+  });
+}
+
+TEST(Spawn, CoarraysTravelByReference) {
+  // The Coref resolves to the *executing* image's block (paper §II-C2).
+  run(spawn_options(3), [] {
+    Team world = team_world();
+    Coarray<long> counter(world, 1);
+    counter[0] = 0;
+    team_barrier(world);
+    finish(world, [&] {
+      for (int target = 0; target < world.size(); ++target) {
+        spawn<add_into>(target, counter.ref(), long{10});
+      }
+    });
+    EXPECT_EQ(counter[0], 10L * world.size());
+    team_barrier(world);
+  });
+}
+
+TEST(Spawn, SpawnToSelfWorks) {
+  run(spawn_options(2), [] {
+    Team world = team_world();
+    Coarray<long> counter(world, 1);
+    counter[0] = 0;
+    team_barrier(world);
+    finish(world, [&] {
+      spawn<add_into>(this_image(), counter.ref(), long{3});
+    });
+    EXPECT_EQ(counter[0], 3);
+    team_barrier(world);
+  });
+}
+
+TEST(Spawn, CompletionEventFiresAfterExecutionOnTarget) {
+  run(spawn_options(2), [] {
+    Team world = team_world();
+    Coarray<long> counter(world, 1);
+    counter[0] = 0;
+    team_barrier(world);
+    if (world.rank() == 0) {
+      Event done;
+      spawn<add_into>(done, 1, counter.ref(), long{4});
+      done.wait();  // notification sent after execution completed on image 1
+    }
+    team_barrier(world);
+    if (world.rank() == 1) {
+      EXPECT_EQ(counter[0], 4);
+    }
+    team_barrier(world);
+  });
+}
+
+TEST(Spawn, TransitiveChainsTrackedByFinish) {
+  for (int hops : {1, 3, 7}) {
+    run(spawn_options(4), [hops] {
+      Team world = team_world();
+      Coarray<long> counter(world, 1);
+      counter[0] = 0;
+      team_barrier(world);
+      finish(world, [&] {
+        if (world.rank() == 0) {
+          spawn<chain_hop>(1, static_cast<std::int32_t>(hops),
+                           std::int32_t{0}, counter.ref());
+        }
+      });
+      // Whoever ended the chain incremented exactly once; sum across team.
+      const long total =
+          allreduce<long>(world, counter[0], RedOp::kSum);
+      EXPECT_EQ(total, 1) << "hops " << hops;
+      team_barrier(world);
+    });
+  }
+}
+
+TEST(Spawn, PayloadLimitEnforced) {
+  run(spawn_options(2), [] {
+    Team world = team_world();
+    if (world.rank() == 0) {
+      // Default medium payload is 4096 bytes; this exceeds it.
+      std::vector<double> huge(1024, 1.0);
+      EXPECT_THROW(
+          (spawn<take_string_and_vector>(1, std::string("x"), huge)),
+          UsageError);
+    }
+    team_barrier(world);
+  });
+}
+
+/// Shipped function that uses cofence: only *its own* implicit operations
+/// are fenced, not the spawning image's (paper Fig. 10 dynamic scoping).
+thread_local bool tls_inner_cofence_ok = false;
+
+void ship_with_cofence(Coref<int> scratch) {
+  // Inside the shipped function the scope is fresh: nothing outstanding.
+  EXPECT_EQ(outstanding_implicit_ops(), 0u);
+  // Initiate an implicit copy from within the shipped function, then fence.
+  static thread_local std::vector<int> payload;
+  payload.assign(64, 5);
+  const int next = (this_image() + 1) % num_images();
+  copy_async(RemoteSlice<int>{scratch.coarray_id, next, 0, 64},
+             std::span<const int>(payload));
+  EXPECT_EQ(outstanding_implicit_ops(), 1u);
+  cofence();
+  tls_inner_cofence_ok = true;
+}
+
+TEST(Spawn, CofenceInsideShippedFunctionIsDynamicallyScoped) {
+  run(spawn_options(3), [] {
+    Team world = team_world();
+    Coarray<int> scratch(world, 64);
+    tls_inner_cofence_ok = false;
+    team_barrier(world);
+    finish(world, [&] {
+      if (world.rank() == 0) {
+        // The spawner has its own outstanding implicit op; the cofence
+        // inside the shipped function must not wait for it.
+        static thread_local std::vector<int> big;
+        big.assign(64, 1);
+        copy_async(scratch(2), std::span<const int>(big));
+        spawn<ship_with_cofence>(1, scratch.ref());
+      }
+    });
+    if (world.rank() == 1) {
+      EXPECT_TRUE(tls_inner_cofence_ok);
+    }
+    team_barrier(world);
+  });
+}
+
+void open_finish_in_shipped_function() {
+  finish(team_world(), [] {});  // SPMD construct inside a shipped function
+}
+
+TEST(Spawn, FinishInsideShippedFunctionRejected) {
+  // finish is an SPMD collective; a shipped function may not open one. The
+  // UsageError raised on the executing image fails the whole run.
+  EXPECT_THROW(
+      run(spawn_options(2),
+          [] {
+            Team world = team_world();
+            finish(world, [&] {
+              if (world.rank() == 0) {
+                spawn<open_finish_in_shipped_function>(1);
+              }
+            });
+          }),
+      UsageError);
+}
+
+}  // namespace
