@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detectors_ablation.dir/bench_detectors_ablation.cpp.o"
+  "CMakeFiles/bench_detectors_ablation.dir/bench_detectors_ablation.cpp.o.d"
+  "bench_detectors_ablation"
+  "bench_detectors_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detectors_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_cofence_micro.cpp" "bench/CMakeFiles/bench_fig12_cofence_micro.dir/bench_fig12_cofence_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12_cofence_micro.dir/bench_fig12_cofence_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/caf2_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

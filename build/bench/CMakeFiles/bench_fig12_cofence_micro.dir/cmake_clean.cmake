@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cofence_micro.dir/bench_fig12_cofence_micro.cpp.o"
+  "CMakeFiles/bench_fig12_cofence_micro.dir/bench_fig12_cofence_micro.cpp.o.d"
+  "bench_fig12_cofence_micro"
+  "bench_fig12_cofence_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cofence_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_randomaccess.dir/bench_fig13_randomaccess.cpp.o"
+  "CMakeFiles/bench_fig13_randomaccess.dir/bench_fig13_randomaccess.cpp.o.d"
+  "bench_fig13_randomaccess"
+  "bench_fig13_randomaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_randomaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_uts_balance.dir/bench_fig16_uts_balance.cpp.o"
+  "CMakeFiles/bench_fig16_uts_balance.dir/bench_fig16_uts_balance.cpp.o.d"
+  "bench_fig16_uts_balance"
+  "bench_fig16_uts_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_uts_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_detection_rounds.dir/bench_fig18_detection_rounds.cpp.o"
+  "CMakeFiles/bench_fig18_detection_rounds.dir/bench_fig18_detection_rounds.cpp.o.d"
+  "bench_fig18_detection_rounds"
+  "bench_fig18_detection_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_detection_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_pitfall.dir/barrier_pitfall.cpp.o"
+  "CMakeFiles/barrier_pitfall.dir/barrier_pitfall.cpp.o.d"
+  "barrier_pitfall"
+  "barrier_pitfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_pitfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sort.dir/distributed_sort.cpp.o"
+  "CMakeFiles/distributed_sort.dir/distributed_sort.cpp.o.d"
+  "distributed_sort"
+  "distributed_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_cofence.dir/pipeline_cofence.cpp.o"
+  "CMakeFiles/pipeline_cofence.dir/pipeline_cofence.cpp.o.d"
+  "pipeline_cofence"
+  "pipeline_cofence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_cofence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/caf2.cpp" "src/CMakeFiles/caf2_core.dir/core/caf2.cpp.o" "gcc" "src/CMakeFiles/caf2_core.dir/core/caf2.cpp.o.d"
+  "/root/repo/src/core/cofence.cpp" "src/CMakeFiles/caf2_core.dir/core/cofence.cpp.o" "gcc" "src/CMakeFiles/caf2_core.dir/core/cofence.cpp.o.d"
+  "/root/repo/src/core/detectors.cpp" "src/CMakeFiles/caf2_core.dir/core/detectors.cpp.o" "gcc" "src/CMakeFiles/caf2_core.dir/core/detectors.cpp.o.d"
+  "/root/repo/src/core/finish.cpp" "src/CMakeFiles/caf2_core.dir/core/finish.cpp.o" "gcc" "src/CMakeFiles/caf2_core.dir/core/finish.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/caf2_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caf2_core.dir/core/caf2.cpp.o"
+  "CMakeFiles/caf2_core.dir/core/caf2.cpp.o.d"
+  "CMakeFiles/caf2_core.dir/core/cofence.cpp.o"
+  "CMakeFiles/caf2_core.dir/core/cofence.cpp.o.d"
+  "CMakeFiles/caf2_core.dir/core/detectors.cpp.o"
+  "CMakeFiles/caf2_core.dir/core/detectors.cpp.o.d"
+  "CMakeFiles/caf2_core.dir/core/finish.cpp.o"
+  "CMakeFiles/caf2_core.dir/core/finish.cpp.o.d"
+  "libcaf2_core.a"
+  "libcaf2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caf2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

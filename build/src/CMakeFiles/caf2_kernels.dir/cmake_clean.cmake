@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caf2_kernels.dir/kernels/randomaccess.cpp.o"
+  "CMakeFiles/caf2_kernels.dir/kernels/randomaccess.cpp.o.d"
+  "CMakeFiles/caf2_kernels.dir/kernels/uts.cpp.o"
+  "CMakeFiles/caf2_kernels.dir/kernels/uts.cpp.o.d"
+  "CMakeFiles/caf2_kernels.dir/kernels/uts_scheduler.cpp.o"
+  "CMakeFiles/caf2_kernels.dir/kernels/uts_scheduler.cpp.o.d"
+  "libcaf2_kernels.a"
+  "libcaf2_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caf2_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caf2_net.dir/net/mailbox.cpp.o"
+  "CMakeFiles/caf2_net.dir/net/mailbox.cpp.o.d"
+  "CMakeFiles/caf2_net.dir/net/message.cpp.o"
+  "CMakeFiles/caf2_net.dir/net/message.cpp.o.d"
+  "CMakeFiles/caf2_net.dir/net/network.cpp.o"
+  "CMakeFiles/caf2_net.dir/net/network.cpp.o.d"
+  "libcaf2_net.a"
+  "libcaf2_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caf2_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

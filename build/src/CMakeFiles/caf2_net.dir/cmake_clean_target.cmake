@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcaf2_net.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/collectives.cpp" "src/CMakeFiles/caf2_ops.dir/ops/collectives.cpp.o" "gcc" "src/CMakeFiles/caf2_ops.dir/ops/collectives.cpp.o.d"
+  "/root/repo/src/ops/copy.cpp" "src/CMakeFiles/caf2_ops.dir/ops/copy.cpp.o" "gcc" "src/CMakeFiles/caf2_ops.dir/ops/copy.cpp.o.d"
+  "/root/repo/src/ops/reduction.cpp" "src/CMakeFiles/caf2_ops.dir/ops/reduction.cpp.o" "gcc" "src/CMakeFiles/caf2_ops.dir/ops/reduction.cpp.o.d"
+  "/root/repo/src/ops/sort.cpp" "src/CMakeFiles/caf2_ops.dir/ops/sort.cpp.o" "gcc" "src/CMakeFiles/caf2_ops.dir/ops/sort.cpp.o.d"
+  "/root/repo/src/ops/spawn.cpp" "src/CMakeFiles/caf2_ops.dir/ops/spawn.cpp.o" "gcc" "src/CMakeFiles/caf2_ops.dir/ops/spawn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/caf2_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

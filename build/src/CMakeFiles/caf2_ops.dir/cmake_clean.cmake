@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caf2_ops.dir/ops/collectives.cpp.o"
+  "CMakeFiles/caf2_ops.dir/ops/collectives.cpp.o.d"
+  "CMakeFiles/caf2_ops.dir/ops/copy.cpp.o"
+  "CMakeFiles/caf2_ops.dir/ops/copy.cpp.o.d"
+  "CMakeFiles/caf2_ops.dir/ops/reduction.cpp.o"
+  "CMakeFiles/caf2_ops.dir/ops/reduction.cpp.o.d"
+  "CMakeFiles/caf2_ops.dir/ops/sort.cpp.o"
+  "CMakeFiles/caf2_ops.dir/ops/sort.cpp.o.d"
+  "CMakeFiles/caf2_ops.dir/ops/spawn.cpp.o"
+  "CMakeFiles/caf2_ops.dir/ops/spawn.cpp.o.d"
+  "libcaf2_ops.a"
+  "libcaf2_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caf2_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

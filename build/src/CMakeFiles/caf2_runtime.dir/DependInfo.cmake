@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/coarray.cpp" "src/CMakeFiles/caf2_runtime.dir/runtime/coarray.cpp.o" "gcc" "src/CMakeFiles/caf2_runtime.dir/runtime/coarray.cpp.o.d"
+  "/root/repo/src/runtime/cofence_tracker.cpp" "src/CMakeFiles/caf2_runtime.dir/runtime/cofence_tracker.cpp.o" "gcc" "src/CMakeFiles/caf2_runtime.dir/runtime/cofence_tracker.cpp.o.d"
+  "/root/repo/src/runtime/event.cpp" "src/CMakeFiles/caf2_runtime.dir/runtime/event.cpp.o" "gcc" "src/CMakeFiles/caf2_runtime.dir/runtime/event.cpp.o.d"
+  "/root/repo/src/runtime/finish_state.cpp" "src/CMakeFiles/caf2_runtime.dir/runtime/finish_state.cpp.o" "gcc" "src/CMakeFiles/caf2_runtime.dir/runtime/finish_state.cpp.o.d"
+  "/root/repo/src/runtime/image.cpp" "src/CMakeFiles/caf2_runtime.dir/runtime/image.cpp.o" "gcc" "src/CMakeFiles/caf2_runtime.dir/runtime/image.cpp.o.d"
+  "/root/repo/src/runtime/progress.cpp" "src/CMakeFiles/caf2_runtime.dir/runtime/progress.cpp.o" "gcc" "src/CMakeFiles/caf2_runtime.dir/runtime/progress.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/caf2_runtime.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/caf2_runtime.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/runtime/team.cpp" "src/CMakeFiles/caf2_runtime.dir/runtime/team.cpp.o" "gcc" "src/CMakeFiles/caf2_runtime.dir/runtime/team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/caf2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caf2_runtime.dir/runtime/coarray.cpp.o"
+  "CMakeFiles/caf2_runtime.dir/runtime/coarray.cpp.o.d"
+  "CMakeFiles/caf2_runtime.dir/runtime/cofence_tracker.cpp.o"
+  "CMakeFiles/caf2_runtime.dir/runtime/cofence_tracker.cpp.o.d"
+  "CMakeFiles/caf2_runtime.dir/runtime/event.cpp.o"
+  "CMakeFiles/caf2_runtime.dir/runtime/event.cpp.o.d"
+  "CMakeFiles/caf2_runtime.dir/runtime/finish_state.cpp.o"
+  "CMakeFiles/caf2_runtime.dir/runtime/finish_state.cpp.o.d"
+  "CMakeFiles/caf2_runtime.dir/runtime/image.cpp.o"
+  "CMakeFiles/caf2_runtime.dir/runtime/image.cpp.o.d"
+  "CMakeFiles/caf2_runtime.dir/runtime/progress.cpp.o"
+  "CMakeFiles/caf2_runtime.dir/runtime/progress.cpp.o.d"
+  "CMakeFiles/caf2_runtime.dir/runtime/runtime.cpp.o"
+  "CMakeFiles/caf2_runtime.dir/runtime/runtime.cpp.o.d"
+  "CMakeFiles/caf2_runtime.dir/runtime/team.cpp.o"
+  "CMakeFiles/caf2_runtime.dir/runtime/team.cpp.o.d"
+  "libcaf2_runtime.a"
+  "libcaf2_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caf2_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

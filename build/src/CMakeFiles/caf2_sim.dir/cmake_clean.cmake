@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caf2_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/caf2_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/caf2_sim.dir/sim/participant.cpp.o"
+  "CMakeFiles/caf2_sim.dir/sim/participant.cpp.o.d"
+  "CMakeFiles/caf2_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/caf2_sim.dir/sim/trace.cpp.o.d"
+  "libcaf2_sim.a"
+  "libcaf2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caf2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

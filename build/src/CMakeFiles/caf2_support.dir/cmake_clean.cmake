@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caf2_support.dir/support/config.cpp.o"
+  "CMakeFiles/caf2_support.dir/support/config.cpp.o.d"
+  "CMakeFiles/caf2_support.dir/support/error.cpp.o"
+  "CMakeFiles/caf2_support.dir/support/error.cpp.o.d"
+  "CMakeFiles/caf2_support.dir/support/rng.cpp.o"
+  "CMakeFiles/caf2_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/caf2_support.dir/support/serialize.cpp.o"
+  "CMakeFiles/caf2_support.dir/support/serialize.cpp.o.d"
+  "CMakeFiles/caf2_support.dir/support/sha1.cpp.o"
+  "CMakeFiles/caf2_support.dir/support/sha1.cpp.o.d"
+  "CMakeFiles/caf2_support.dir/support/stats.cpp.o"
+  "CMakeFiles/caf2_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/caf2_support.dir/support/table.cpp.o"
+  "CMakeFiles/caf2_support.dir/support/table.cpp.o.d"
+  "libcaf2_support.a"
+  "libcaf2_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caf2_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

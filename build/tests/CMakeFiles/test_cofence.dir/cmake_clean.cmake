@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cofence.dir/test_cofence.cpp.o"
+  "CMakeFiles/test_cofence.dir/test_cofence.cpp.o.d"
+  "test_cofence"
+  "test_cofence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cofence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

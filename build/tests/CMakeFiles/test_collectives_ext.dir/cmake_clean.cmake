@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectives_ext.dir/test_collectives_ext.cpp.o"
+  "CMakeFiles/test_collectives_ext.dir/test_collectives_ext.cpp.o.d"
+  "test_collectives_ext"
+  "test_collectives_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectives_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

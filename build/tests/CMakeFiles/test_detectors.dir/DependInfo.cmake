@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_detectors.cpp" "tests/CMakeFiles/test_detectors.dir/test_detectors.cpp.o" "gcc" "tests/CMakeFiles/test_detectors.dir/test_detectors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/caf2_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/caf2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finish.dir/test_finish.cpp.o"
+  "CMakeFiles/test_finish.dir/test_finish.cpp.o.d"
+  "test_finish"
+  "test_finish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spawn.dir/test_spawn.cpp.o"
+  "CMakeFiles/test_spawn.dir/test_spawn.cpp.o.d"
+  "test_spawn"
+  "test_spawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
