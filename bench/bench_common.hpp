@@ -11,13 +11,30 @@
 /// All drivers accept:
 ///   --quick            smaller sweeps (used in CI-style runs)
 ///   --images=a,b,c     override the image-count sweep
+///   --jobs=n           run up to n sweep points concurrently
+///                      (default: one per hardware thread)
+///   --json=path        override the BENCH_<name>.json output path
+///
+/// Each Engine is fully self-contained (its own heap, mailboxes, RNG
+/// streams), so independent sweep points run concurrently on a small thread
+/// pool (run_sweep) without perturbing each other's virtual-time results.
 
+#include <atomic>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/caf2.hpp"
+#include "support/bench_io.hpp"
 #include "support/table.hpp"
 
 namespace caf2::bench {
@@ -25,7 +42,24 @@ namespace caf2::bench {
 struct BenchArgs {
   bool quick = false;
   std::vector<int> images;  ///< empty = driver default
+  int jobs = 0;             ///< sweep concurrency; 0 = hardware threads
+  std::string json;         ///< JSON output path; empty = driver default
 };
+
+/// Parse a strictly numeric flag value; reject anything std::stoi would
+/// throw on (or silently truncate) with a diagnostic and a nonzero exit.
+inline int parse_int_or_die(const std::string& token, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(token.c_str(), &end, 10);
+  if (token.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      value < INT_MIN || value > INT_MAX) {
+    std::fprintf(stderr, "%s: not a valid integer: '%s'\n", flag,
+                 token.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
@@ -34,21 +68,40 @@ inline BenchArgs parse_args(int argc, char** argv) {
     if (arg == "--quick") {
       args.quick = true;
     } else if (arg.rfind("--images=", 0) == 0) {
-      std::string list = arg.substr(9);
+      const std::string list = arg.substr(9);
       std::size_t pos = 0;
-      while (pos < list.size()) {
+      while (pos <= list.size()) {
         const std::size_t comma = list.find(',', pos);
         const std::string token =
             list.substr(pos, comma == std::string::npos ? std::string::npos
                                                         : comma - pos);
-        args.images.push_back(std::stoi(token));
+        const int images = parse_int_or_die(token, "--images");
+        if (images <= 0) {
+          std::fprintf(stderr, "--images: image count must be positive: %d\n",
+                       images);
+          std::exit(2);
+        }
+        args.images.push_back(images);
         if (comma == std::string::npos) {
           break;
         }
         pos = comma + 1;
       }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      args.jobs = parse_int_or_die(arg.substr(7), "--jobs");
+      if (args.jobs < 0) {
+        std::fprintf(stderr, "--jobs: must be >= 0\n");
+        std::exit(2);
+      }
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json = arg.substr(7);
     } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: %s [--quick] [--images=a,b,c] [--jobs=n] "
+                   "[--json=path]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
     }
   }
   return args;
@@ -64,6 +117,122 @@ inline RuntimeOptions bench_options(int images) {
   options.label = "bench";
   return options;
 }
+
+/// --- parallel sweep driver -------------------------------------------------
+
+/// One independently simulable configuration of a sweep.
+struct SweepPoint {
+  std::string name;
+  /// Runs the point's simulation(s) and returns its measurements. The
+  /// returned record's `name` is overwritten with the point's name.
+  std::function<BenchRecord()> body;
+};
+
+/// Resolve a --jobs value: 0 means one worker per hardware thread.
+inline int resolve_jobs(int requested, std::size_t points) {
+  int jobs = requested > 0
+                 ? requested
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) {
+    jobs = 1;
+  }
+  if (static_cast<std::size_t>(jobs) > points) {
+    jobs = static_cast<int>(points);
+  }
+  return jobs;
+}
+
+/// Run every sweep point, up to \p jobs at a time, on a thread pool.
+/// Results come back in sweep order regardless of completion order. The
+/// first exception thrown by a point is rethrown after the pool drains.
+inline std::vector<BenchRecord> run_sweep(std::vector<SweepPoint> points,
+                                          int jobs = 0) {
+  std::vector<BenchRecord> results(points.size());
+  if (points.empty()) {
+    return results;
+  }
+  const int workers = resolve_jobs(jobs, points.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> poisoned{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= points.size() || poisoned.load()) {
+        return;
+      }
+      try {
+        results[index] = points[index].body();
+        results[index].name = points[index].name;
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        poisoned.store(true);
+        return;
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+  return results;
+}
+
+/// Run one simulation under wall-clock measurement and fill the simulator-
+/// side fields of a BenchRecord (wall seconds, events, events/sec).
+inline BenchRecord measure_run(const RuntimeOptions& options,
+                               const std::function<void()>& body) {
+  WallTimer timer;
+  const RunStats stats = run_stats(options, body);
+  BenchRecord record;
+  record.wall_seconds = timer.seconds();
+  record.events = stats.events;
+  record.virtual_us = stats.virtual_us;
+  record.events_per_sec =
+      record.wall_seconds > 0.0
+          ? static_cast<double>(stats.events) / record.wall_seconds
+          : 0.0;
+  return record;
+}
+
+/// Emit BENCH_<name>.json (or args.json when set) for a finished sweep.
+inline void emit_bench_json(const BenchArgs& args, const std::string& name,
+                            const std::vector<BenchRecord>& records) {
+  const std::string path =
+      args.json.empty() ? "BENCH_" + name + ".json" : args.json;
+  std::vector<std::pair<std::string, std::string>> meta;
+  meta.emplace_back("quick", args.quick ? "true" : "false");
+  meta.emplace_back("jobs",
+                    std::to_string(resolve_jobs(args.jobs, records.size())));
+  meta.emplace_back("hardware_threads",
+                    std::to_string(std::thread::hardware_concurrency()));
+  if (write_bench_json(path, name, records, meta)) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+/// --- scalar collectives used by the drivers ---------------------------------
 
 /// Collect one double from each image into rank 0 (via allreduce of a
 /// one-hot vector is overkill; a max over a single slot per call is enough

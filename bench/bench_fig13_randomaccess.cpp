@@ -7,6 +7,9 @@
 /// RDMA-style get/put version across scales, and the number of finish
 /// invocations makes no significant difference — synchronization with
 /// finish is cheap once amortized.
+///
+/// Each (images, variant) cell is an independent simulation dispatched
+/// through bench::run_sweep, so cells run concurrently under --jobs.
 
 #include "kernels/randomaccess.hpp"
 
@@ -17,33 +20,28 @@ namespace {
 using namespace caf2;
 using kernels::RaConfig;
 
-double run_fs(int images, const RaConfig& config) {
+BenchRecord measure_cell(int images, const RaConfig& config, bool shipping) {
   double elapsed = 0.0;
-  run(bench::bench_options(images), [&] {
-    const auto stats =
-        kernels::ra_run_function_shipping(team_world(), config);
-    elapsed = bench::reduce_max(team_world(), stats.elapsed_us);
-  });
-  return elapsed;
-}
-
-double run_getput(int images, const RaConfig& config) {
-  double elapsed = 0.0;
-  run(bench::bench_options(images), [&] {
-    const auto stats = kernels::ra_run_get_update_put(team_world(), config);
-    elapsed = bench::reduce_max(team_world(), stats.elapsed_us);
-  });
-  return elapsed;
+  BenchRecord record =
+      bench::measure_run(bench::bench_options(images), [&] {
+        const auto stats =
+            shipping ? kernels::ra_run_function_shipping(team_world(), config)
+                     : kernels::ra_run_get_update_put(team_world(), config);
+        elapsed = bench::reduce_max(team_world(), stats.elapsed_us);
+      });
+  record.metrics.emplace_back("images", images);
+  record.metrics.emplace_back("virtual_ms", elapsed / 1000.0);
+  return record;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = caf2::bench::parse_args(argc, argv);
-  std::vector<int> sweep =
+  std::vector<int> sweep_images =
       args.images.empty() ? std::vector<int>{4, 8, 16, 32} : args.images;
   if (args.quick) {
-    sweep = {4, 8};
+    sweep_images = {4, 8};
   }
 
   RaConfig config;
@@ -53,6 +51,23 @@ int main(int argc, char** argv) {
   // Scaled analogue of the paper's 512/1024/2048-update bunches.
   const std::vector<int> bunches = {256, 512, 1024};
 
+  std::vector<caf2::bench::SweepPoint> sweep;
+  for (const int images : sweep_images) {
+    sweep.push_back({"getput/images=" + std::to_string(images),
+                     [images, config] {
+                       return measure_cell(images, config, false);
+                     }});
+    for (const int bunch : bunches) {
+      RaConfig fs = config;
+      fs.bunch = bunch;
+      sweep.push_back({"fs" + std::to_string(bunch) +
+                           "/images=" + std::to_string(images),
+                       [images, fs] { return measure_cell(images, fs, true); }});
+    }
+  }
+  const std::vector<caf2::BenchRecord> results =
+      caf2::bench::run_sweep(std::move(sweep), args.jobs);
+
   caf2::Table table(
       "Fig. 13 — RandomAccess: get-update-put vs function shipping "
       "(virtual ms; " +
@@ -61,14 +76,11 @@ int main(int argc, char** argv) {
                  "FS bunch=1024"});
   table.precision(3);
 
-  for (int images : sweep) {
-    std::vector<caf2::Cell> row{static_cast<long long>(images)};
-    RaConfig getput = config;
-    row.push_back(run_getput(images, getput) / 1000.0);
-    for (int bunch : bunches) {
-      RaConfig fs = config;
-      fs.bunch = bunch;
-      row.push_back(run_fs(images, fs) / 1000.0);
+  const std::size_t stride = 1 + bunches.size();
+  for (std::size_t i = 0; i < sweep_images.size(); ++i) {
+    std::vector<caf2::Cell> row{static_cast<long long>(sweep_images[i])};
+    for (std::size_t v = 0; v < stride; ++v) {
+      row.push_back(results[i * stride + v].metrics.back().second);
     }
     table.add_row(std::move(row));
   }
@@ -77,5 +89,7 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper Fig. 13): the three FS columns are close to\n"
       "each other (finish granularity does not matter at these bunch sizes)\n"
       "and comparable to the get-update-put column at every scale.\n");
+
+  caf2::bench::emit_bench_json(args, "fig13", results);
   return 0;
 }

@@ -1,92 +1,179 @@
-/// Substrate micro-benchmarks (google-benchmark): real wall-clock costs of
-/// the building blocks — SHA-1 hashing (UTS node generation), the HPCC
-/// stream jump, argument marshalling, simulation-engine event dispatch, and
-/// a full allreduce through the simulated interconnect. These measure the
-/// *simulator's* performance, not the modeled machine's.
+/// Substrate throughput sweep: real wall-clock performance of the simulator
+/// itself — the hard ceiling on how large an image-count sweep the figure
+/// drivers can reproduce. Unlike the figure drivers, the interesting number
+/// here is *events per wall second*, not virtual time.
+///
+/// Three layers are measured:
+///  - engine/*: the raw discrete-event loop (self-wake fast path, token
+///    handoffs between participant threads, Call-event dispatch);
+///  - allreduce/*, randomaccess/*: full runtime stacks over the simulated
+///    Gemini-class interconnect, swept over image counts and bunch sizes;
+///  - detector/*: the UTS termination-detection workload per detector kind.
+///
+/// Independent sweep points run concurrently (--jobs); results land in
+/// BENCH_substrate.json so the simulator's perf trajectory is tracked
+/// across commits. Use CAF2_SIM_NO_FASTPATH=1 to compare against the
+/// slow-path scheduler.
 
-#include <benchmark/benchmark.h>
-
-#include "core/caf2.hpp"
-#include "kernels/uts.hpp"
+#include "bench_common.hpp"
+#include "kernels/randomaccess.hpp"
+#include "kernels/uts_scheduler.hpp"
+#include "sim/engine.hpp"
 #include "sim/participant.hpp"
-#include "support/rng.hpp"
-#include "support/serialize.hpp"
-#include "support/sha1.hpp"
 
 namespace {
 
-void BM_Sha1Digest20B(benchmark::State& state) {
-  std::array<std::uint8_t, 24> input{};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(caf2::Sha1::hash(input));
-  }
-}
-BENCHMARK(BM_Sha1Digest20B);
+using namespace caf2;
+using bench::BenchArgs;
+using bench::SweepPoint;
 
-void BM_UtsChildGeneration(benchmark::State& state) {
-  caf2::kernels::UtsTree tree;
-  caf2::kernels::UtsNode node = tree.root();
-  int index = 0;
-  for (auto _ : state) {
-    node = caf2::kernels::UtsTree::child(node, index++ & 3);
-    benchmark::DoNotOptimize(node);
-  }
+/// Measure a raw engine run (no runtime stack on top).
+BenchRecord measure_engine(int participants,
+                           const std::function<void(int)>& body) {
+  sim::Engine engine(participants);
+  WallTimer timer;
+  engine.run(body);
+  BenchRecord record;
+  record.wall_seconds = timer.seconds();
+  record.events = engine.event_count();
+  record.virtual_us = engine.now();
+  record.events_per_sec =
+      record.wall_seconds > 0.0
+          ? static_cast<double>(record.events) / record.wall_seconds
+          : 0.0;
+  return record;
 }
-BENCHMARK(BM_UtsChildGeneration);
 
-void BM_HpccStarts(benchmark::State& state) {
-  std::int64_t n = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(caf2::HpccRandom::starts(n));
-    n = (n * 2862933555777941757LL + 3037000493LL) & 0x7FFFFFFFFFFFLL;
-  }
-}
-BENCHMARK(BM_HpccStarts);
+std::vector<SweepPoint> build_sweep(const BenchArgs& args) {
+  std::vector<SweepPoint> sweep;
+  const int scale = args.quick ? 1 : 10;
 
-void BM_MarshalSpawnArgs(benchmark::State& state) {
-  const std::vector<double> payload(16, 1.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        caf2::pack_values(std::int64_t{7}, payload, std::int32_t{3}));
-  }
-}
-BENCHMARK(BM_MarshalSpawnArgs);
+  // --- engine layer --------------------------------------------------------
+  sweep.push_back({"engine/selfwake", [scale] {
+                     const int steps = 200'000 * scale;
+                     return measure_engine(1, [steps](int) {
+                       sim::Engine& e = sim::this_engine();
+                       for (int i = 0; i < steps; ++i) {
+                         e.advance(1.0);
+                       }
+                     });
+                   }});
+  sweep.push_back({"engine/handoff4", [scale] {
+                     const int steps = 20'000 * scale;
+                     return measure_engine(4, [steps](int) {
+                       sim::Engine& e = sim::this_engine();
+                       for (int i = 0; i < steps; ++i) {
+                         e.advance(1.0);
+                       }
+                     });
+                   }});
+  sweep.push_back({"engine/post", [scale] {
+                     const int steps = 50'000 * scale;
+                     return measure_engine(1, [steps](int) {
+                       sim::Engine& e = sim::this_engine();
+                       for (int i = 0; i < steps; ++i) {
+                         e.post_in(0.5, [] {});
+                         e.advance(1.0);
+                       }
+                     });
+                   }});
 
-void BM_EngineEventDispatch(benchmark::State& state) {
-  // Round-trip cost of one advance() (event push + token handoff).
-  for (auto _ : state) {
-    state.PauseTiming();
-    caf2::sim::Engine engine(1);
-    state.ResumeTiming();
-    engine.run([](int) {
-      caf2::sim::Engine& e = caf2::sim::this_engine();
-      for (int i = 0; i < 1000; ++i) {
-        e.advance(1.0);
-      }
-    });
+  // --- runtime stack: allreduce over the image-count sweep ------------------
+  std::vector<int> image_counts =
+      args.images.empty() ? std::vector<int>{2, 8, 32} : args.images;
+  if (args.quick && args.images.empty()) {
+    image_counts = {2, 8};
   }
-  state.SetItemsProcessed(state.iterations() * 1000);
-}
-BENCHMARK(BM_EngineEventDispatch)->Unit(benchmark::kMillisecond);
+  for (const int images : image_counts) {
+    sweep.push_back(
+        {"allreduce/images=" + std::to_string(images), [images, scale] {
+           const int iters = 100 * scale;
+           BenchRecord record =
+               bench::measure_run(bench::bench_options(images), [iters] {
+                 for (int i = 0; i < iters; ++i) {
+                   allreduce<std::int64_t>(team_world(), 1, RedOp::kSum);
+                 }
+               });
+           record.metrics.emplace_back("images", images);
+           return record;
+         }});
+  }
 
-void BM_SimulatedAllreduce(benchmark::State& state) {
-  const int images = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    caf2::RuntimeOptions options;
-    options.num_images = images;
-    options.net = caf2::NetworkParams::gemini_like();
-    caf2::run(options, [] {
-      for (int i = 0; i < 10; ++i) {
-        benchmark::DoNotOptimize(caf2::allreduce<std::int64_t>(
-            caf2::team_world(), 1, caf2::RedOp::kSum));
-      }
-    });
+  // --- runtime stack: RandomAccess function shipping over bunch sizes ------
+  for (const int bunch : {64, 512}) {
+    sweep.push_back(
+        {"randomaccess/bunch=" + std::to_string(bunch), [bunch, scale] {
+           kernels::RaConfig config;
+           config.log2_local_table = 12;
+           config.updates_per_image =
+               static_cast<std::uint64_t>(512) * static_cast<unsigned>(scale);
+           config.bunch = bunch;
+           BenchRecord record =
+               bench::measure_run(bench::bench_options(8), [config] {
+                 kernels::ra_run_function_shipping(team_world(), config);
+               });
+           record.metrics.emplace_back("bunch", bunch);
+           record.metrics.emplace_back("images", 8);
+           return record;
+         }});
   }
-  state.SetItemsProcessed(state.iterations() * 10);
+
+  // --- runtime stack: UTS per detector kind ---------------------------------
+  const std::vector<std::pair<const char*, DetectorKind>> detectors = {
+      {"epoch", DetectorKind::kEpoch},
+      {"speculative", DetectorKind::kSpeculative},
+      {"four-counter", DetectorKind::kFourCounter},
+      {"centralized", DetectorKind::kCentralized},
+  };
+  for (const auto& [label, kind] : detectors) {
+    sweep.push_back(
+        {std::string("detector/") + label, [kind, quick = args.quick] {
+           kernels::UtsConfig config;
+           config.tree.b0 = 4.0;
+           config.tree.max_depth = quick ? 5 : 7;
+           config.tree.root_seed = 19;
+           config.detector = kind;
+           BenchRecord record =
+               bench::measure_run(bench::bench_options(8), [config] {
+                 kernels::uts_run(team_world(), config);
+               });
+           record.metrics.emplace_back("images", 8);
+           return record;
+         }});
+  }
+  return sweep;
 }
-BENCHMARK(BM_SimulatedAllreduce)->Arg(2)->Arg(8)->Arg(32)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const BenchArgs args = bench::parse_args(argc, argv);
+
+  std::vector<SweepPoint> sweep = build_sweep(args);
+  const WallTimer total;
+  const std::vector<BenchRecord> results =
+      bench::run_sweep(std::move(sweep), args.jobs);
+  const double elapsed = total.seconds();
+
+  Table table("Simulator substrate throughput (real time, not virtual)");
+  table.columns({"sweep point", "events", "wall s", "events/s"});
+  table.precision(3);
+  double total_events = 0.0;
+  double total_wall = 0.0;
+  for (const BenchRecord& r : results) {
+    table.add_row({r.name, static_cast<long long>(r.events), r.wall_seconds,
+                   r.events_per_sec});
+    total_events += static_cast<double>(r.events);
+    total_wall += r.wall_seconds;
+  }
+  table.print();
+  std::printf(
+      "\ntotal: %.0f events in %.3f s of simulation (%.3f s elapsed, "
+      "%d jobs); aggregate %.2fM events/sec\n",
+      total_events, total_wall, elapsed,
+      bench::resolve_jobs(args.jobs, results.size()),
+      total_events / (total_wall > 0.0 ? total_wall : 1.0) / 1e6);
+
+  bench::emit_bench_json(args, "substrate", results);
+  return 0;
+}

@@ -7,6 +7,11 @@
 namespace caf2 {
 
 void run(const RuntimeOptions& options, const std::function<void()>& body) {
+  (void)run_stats(options, body);
+}
+
+RunStats run_stats(const RuntimeOptions& options,
+                   const std::function<void()>& body) {
   rt::Runtime runtime(options);
   rt::install_event_handlers(runtime);
   ops::install_copy_handlers(runtime);
@@ -14,6 +19,11 @@ void run(const RuntimeOptions& options, const std::function<void()>& body) {
   ops::install_collective_handlers(runtime);
   core::install_detector_handlers(runtime);
   runtime.run(body);
+  RunStats stats;
+  stats.events = runtime.engine().event_count();
+  stats.virtual_us = runtime.engine().now();
+  stats.fastpath = runtime.engine().fastpath_enabled();
+  return stats;
 }
 
 int this_image() { return rt::Image::current().rank(); }

@@ -41,6 +41,19 @@ namespace caf2 {
 /// completion, and rethrows the first image failure (if any).
 void run(const RuntimeOptions& options, const std::function<void()>& body);
 
+/// Simulator-side statistics of one completed run (real cost of the
+/// simulation, as opposed to the virtual-time results the run computed).
+struct RunStats {
+  std::uint64_t events = 0;  ///< engine events dispatched
+  double virtual_us = 0.0;   ///< final virtual time
+  bool fastpath = true;      ///< self-wake fast path was active
+};
+
+/// Like run(), but returns the simulator statistics of the finished run.
+/// Benchmark drivers use this to report events/sec.
+RunStats run_stats(const RuntimeOptions& options,
+                   const std::function<void()>& body);
+
 /// World rank of the calling image (0-based; the paper's image index).
 int this_image();
 

@@ -41,40 +41,83 @@ Network::Timing Network::plan(double now, std::size_t bytes) {
   return timing;
 }
 
-void Network::deliver(Message message, const Timing& timing,
-                      SendCallbacks callbacks) {
-  const int dest = message.header.dest;
-  const int source = message.header.source;
+void Network::account_send(const Message& message) {
+  const std::size_t source = static_cast<std::size_t>(message.header.source);
   const std::size_t bytes = message.size_bytes();
-
   ++messages_sent_;
   bytes_sent_ += bytes;
-  traffic_[static_cast<std::size_t>(source)].messages_out += 1;
-  traffic_[static_cast<std::size_t>(source)].bytes_out += bytes;
+  traffic_[source].messages_out += 1;
+  traffic_[source].bytes_out += bytes;
+}
 
-  engine_.post(timing.deliver_at,
-               [this, dest, message = std::move(message)]() mutable {
-                 traffic_[static_cast<std::size_t>(dest)].messages_in += 1;
-                 traffic_[static_cast<std::size_t>(dest)].bytes_in +=
-                     message.size_bytes();
-                 mailboxes_[static_cast<std::size_t>(dest)].push(
-                     std::move(message));
-                 engine_.unblock(dest);
-               });
-  if (callbacks.on_acked) {
-    engine_.post(timing.ack_at, std::move(callbacks.on_acked));
+void Network::run_deliver_phase(Flight flight) {
+  const std::size_t dest = static_cast<std::size_t>(flight.message.header.dest);
+  traffic_[dest].messages_in += 1;
+  traffic_[dest].bytes_in += flight.message.size_bytes();
+  mailboxes_[dest].push(std::move(flight.message));
+  engine_.unblock(static_cast<int>(dest));
+  if (flight.has_ack) {
+    if (flight.timing.ack_at == flight.timing.deliver_at) {
+      // Zero ack latency: completion is observable at delivery time, and the
+      // reserved ack sequence number immediately follows the delivery's, so
+      // running it inline preserves the dispatch order exactly.
+      flight.callbacks.on_acked();
+    } else {
+      engine_.post_reserved(flight.timing.ack_at, flight.ack_seq,
+                            std::move(flight.callbacks.on_acked));
+    }
   }
+}
+
+void Network::schedule_deliver(Flight flight) {
+  const double at = flight.timing.deliver_at;
+  const std::uint64_t seq = flight.deliver_seq;
+  engine_.post_reserved(at, seq, [this, f = std::move(flight)]() mutable {
+    run_deliver_phase(std::move(f));
+  });
 }
 
 void Network::send(Message message, SendCallbacks callbacks) {
   CAF2_REQUIRE(message.header.dest >= 0 && message.header.dest < size(),
                "send(): destination image out of range");
-  const Timing timing = plan(engine_.now(), message.size_bytes());
-  if (callbacks.on_staged) {
-    engine_.post(timing.stage_at, std::move(callbacks.on_staged));
-    callbacks.on_staged = nullptr;
+  Flight flight;
+  flight.timing = plan(engine_.now(), message.size_bytes());
+  flight.message = std::move(message);
+  flight.callbacks = std::move(callbacks);
+  account_send(flight.message);
+
+  // Reserve the chain's sequence numbers in the order the seed posted its
+  // events (stage, deliver, ack) so dispatch order is unchanged.
+  const bool has_stage = flight.callbacks.on_staged != nullptr;
+  std::uint64_t stage_seq = 0;
+  if (has_stage) {
+    stage_seq = engine_.reserve_seq();
   }
-  deliver(std::move(message), timing, std::move(callbacks));
+  flight.deliver_seq = engine_.reserve_seq();
+  flight.has_ack = flight.callbacks.on_acked != nullptr;
+  if (flight.has_ack) {
+    flight.ack_seq = engine_.reserve_seq();
+  }
+
+  if (!has_stage) {
+    schedule_deliver(std::move(flight));
+    return;
+  }
+  const bool merge_deliver =
+      flight.timing.stage_at == flight.timing.deliver_at;
+  engine_.post_reserved(
+      flight.timing.stage_at, stage_seq,
+      [this, f = std::move(flight), merge_deliver]() mutable {
+        f.callbacks.on_staged();
+        f.callbacks.on_staged = nullptr;
+        if (merge_deliver) {
+          // The delivery's reserved sequence number directly follows the
+          // stage's, so nothing can dispatch between them: run it inline.
+          run_deliver_phase(std::move(f));
+        } else {
+          schedule_deliver(std::move(f));
+        }
+      });
 }
 
 void Network::send_staged(MessageHeader header, std::size_t size_hint,
@@ -89,18 +132,32 @@ void Network::send_staged(MessageHeader header, std::size_t size_hint,
   // message exist as an independent payload. Overwriting the source buffer
   // before local data completion corrupts the transfer, as on real RDMA
   // hardware.
-  engine_.post(timing.stage_at, [this, header, timing,
-                                 read = std::move(read),
-                                 callbacks = std::move(callbacks)]() mutable {
-    Message message;
-    message.header = header;
-    message.payload = read();
-    if (callbacks.on_staged) {
-      callbacks.on_staged();
-      callbacks.on_staged = nullptr;
-    }
-    deliver(std::move(message), timing, std::move(callbacks));
-  });
+  const std::uint64_t stage_seq = engine_.reserve_seq();
+  engine_.post_reserved(
+      timing.stage_at, stage_seq,
+      [this, header, timing, read = std::move(read),
+       callbacks = std::move(callbacks)]() mutable {
+        Flight flight;
+        flight.message.header = header;
+        flight.message.payload = read();
+        flight.callbacks = std::move(callbacks);
+        flight.timing = timing;
+        if (flight.callbacks.on_staged) {
+          flight.callbacks.on_staged();
+          flight.callbacks.on_staged = nullptr;
+        }
+        // The seed allocated deliver/ack sequence numbers only here, after
+        // on_staged ran — events on_staged posted at the delivery time must
+        // dispatch before the delivery, so the delivery stays a separate
+        // event even when stage_at == deliver_at.
+        flight.deliver_seq = engine_.reserve_seq();
+        flight.has_ack = flight.callbacks.on_acked != nullptr;
+        if (flight.has_ack) {
+          flight.ack_seq = engine_.reserve_seq();
+        }
+        account_send(flight.message);
+        schedule_deliver(std::move(flight));
+      });
 }
 
 }  // namespace caf2::net

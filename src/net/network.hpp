@@ -97,8 +97,30 @@ class Network {
   };
   Timing plan(double now, std::size_t bytes);
 
-  void deliver(Message message, const Timing& timing,
-               SendCallbacks callbacks);
+  /// One in-flight message. A flight owns the message plus its completion
+  /// callbacks and walks the stage → deliver → ack chain as a *single*
+  /// self-rescheduling engine event: later phases' sequence numbers are
+  /// reserved up front (Engine::reserve_seq) so lazy scheduling dispatches
+  /// in exactly the order the seed's eager three-event schedule produced,
+  /// and consecutive phases that fall on the same virtual time are run
+  /// inline within one event instead of bouncing through the heap.
+  struct Flight {
+    Message message;
+    SendCallbacks callbacks;
+    Timing timing{};
+    std::uint64_t deliver_seq = 0;
+    std::uint64_t ack_seq = 0;
+    bool has_ack = false;
+  };
+
+  /// Source-side accounting charged when the message is injected.
+  void account_send(const Message& message);
+
+  /// Post the delivery event at (timing.deliver_at, deliver_seq).
+  void schedule_deliver(Flight flight);
+
+  /// Execute the delivery (and, when ack_at coincides, the ack) now.
+  void run_deliver_phase(Flight flight);
 
   sim::Engine& engine_;
   NetworkParams params_;

@@ -39,6 +39,7 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   engine_options.record_trace = options_.record_trace;
   engine_options.max_events = options_.max_events;
   engine_options.label = options_.label;
+  engine_options.enable_fastpath = options_.sim_fastpath;
   engine_ = std::make_unique<sim::Engine>(options_.num_images,
                                           std::move(engine_options));
   network_ = std::make_unique<net::Network>(*engine_, options_.net,

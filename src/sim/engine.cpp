@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 namespace caf2::sim {
@@ -19,6 +20,11 @@ int Engine::current_id() { return tls_context.id; }
 Engine::Engine(int participants, EngineOptions options)
     : options_(std::move(options)) {
   CAF2_REQUIRE(participants > 0, "Engine needs at least one participant");
+  fastpath_ = options_.enable_fastpath;
+  if (const char* env = std::getenv("CAF2_SIM_NO_FASTPATH");
+      env != nullptr && *env != '\0' && *env != '0') {
+    fastpath_ = false;
+  }
   participants_.reserve(static_cast<std::size_t>(participants));
   for (int i = 0; i < participants; ++i) {
     auto participant = std::make_unique<Participant>();
@@ -31,21 +37,13 @@ Engine::~Engine() {
   // run() joins all threads; nothing to do unless run() was never called.
 }
 
-double Engine::now() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return now_us_;
-}
-
-std::uint64_t Engine::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return dispatched_;
-}
-
 void Engine::record(TraceKind kind, int participant) {
   if (!options_.record_trace) {
     return;
   }
-  trace_.push_back(TraceEntry{trace_.size(), now_us_, kind, participant});
+  trace_.push_back(TraceEntry{trace_.size(),
+                              now_us_.load(std::memory_order_relaxed), kind,
+                              participant});
 }
 
 void Engine::fail_locked(std::unique_lock<std::mutex>& lock,
@@ -62,7 +60,20 @@ void Engine::fail_locked(std::unique_lock<std::mutex>& lock,
   done_cv_.notify_all();
 }
 
-void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock) {
+std::uint32_t Engine::acquire_slot(InlineFn fn) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    call_pool_[slot] = std::move(fn);
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(call_pool_.size());
+  call_pool_.push_back(std::move(fn));
+  return slot;
+}
+
+void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
+                            Participant* dispatcher) {
   for (;;) {
     if (failed_) {
       return;
@@ -85,25 +96,29 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock) {
       fail_locked(lock, os.str());
       return;
     }
-    if (options_.max_events != 0 && dispatched_ >= options_.max_events) {
+    if (options_.max_events != 0 &&
+        dispatched_.load(std::memory_order_relaxed) >= options_.max_events) {
       fail_locked(lock, "simulation event budget exceeded");
       return;
     }
 
-    Event event = std::move(const_cast<Event&>(heap_.top()));
+    const Event event = heap_.top();
     heap_.pop();
-    ++dispatched_;
-    now_us_ = std::max(now_us_, event.at);
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+    now_us_.store(std::max(now_us_.load(std::memory_order_relaxed), event.at),
+                  std::memory_order_relaxed);
 
-    if (event.call) {
+    if (event.call_slot != kNoSlot) {
       record(TraceKind::kCall, -1);
       // Callbacks (network staging, deliveries, timers) run with the engine
       // lock released. No participant holds the token here, so callbacks may
       // freely mutate cross-participant runtime state (mailboxes, counters)
       // without racing.
-      auto fn = std::move(event.call);
+      InlineFn fn = std::move(call_pool_[event.call_slot]);
+      free_slots_.push_back(event.call_slot);
       lock.unlock();
       fn();
+      fn.reset();  // destroy the closure before retaking the lock
       lock.lock();
       continue;
     }
@@ -115,7 +130,9 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock) {
     record(TraceKind::kWake, target.id);
     target.active = true;
     target.state = PState::kRunnable;
-    target.cv.notify_one();
+    if (&target != dispatcher) {
+      target.cv.notify_one();
+    }
     return;
   }
 }
@@ -123,7 +140,7 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock) {
 void Engine::switch_out(std::unique_lock<std::mutex>& lock,
                         Participant& self) {
   self.active = false;
-  dispatch_chain(lock);
+  dispatch_chain(lock, &self);
   while (!self.active && !failed_) {
     self.cv.wait(lock);
   }
@@ -139,18 +156,41 @@ void Engine::advance(double dt) {
                "advance() must be called from a participant thread");
   CAF2_REQUIRE(dt >= 0.0, "advance() needs a non-negative duration");
   Participant& self = *participants_[tls_context.id];
-  std::unique_lock<std::mutex> lock(mutex_);
   CAF2_ASSERT(self.active, "advance() caller does not hold the token");
+
+  // Self-wake fast path: the caller holds the token, so every engine field
+  // below is owned by this thread until the token is handed off through the
+  // mutex (which publishes these plain writes). If the wake we are about to
+  // schedule — (target, next_seq_) — would be the very next event dispatched,
+  // and the event budget permits dispatching it, skip the heap round-trip
+  // and the switch_out() handoff entirely. Ties at `target` go to the heap
+  // (existing events hold smaller sequence numbers), so the strict `>`
+  // comparison is exact, and the recorded trace (kAdvance then kWake) is
+  // bit-identical to the slow path's.
+  if (fastpath_ && !failed_ &&
+      (heap_.empty() || heap_.top().at > now_us_.load(std::memory_order_relaxed) + dt) &&
+      (options_.max_events == 0 ||
+       dispatched_.load(std::memory_order_relaxed) < options_.max_events)) {
+    record(TraceKind::kAdvance, self.id);
+    const double target = now_us_.load(std::memory_order_relaxed) + dt;
+    ++next_seq_;  // the sequence number the slow path's wake would consume
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+    now_us_.store(target, std::memory_order_relaxed);
+    record(TraceKind::kWake, self.id);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
   record(TraceKind::kAdvance, self.id);
-  const double target = now_us_ + dt;
-  heap_.push(Event{target, next_seq_++, self.id, nullptr});
+  const double target = now_us_.load(std::memory_order_relaxed) + dt;
+  heap_.push(Event{target, next_seq_++, self.id, kNoSlot});
   // Stray wakes (e.g. an unblock() from a completion callback) can activate
   // this participant before its scheduled resume time; modeled computation
   // must not finish early, so re-relinquish until the clock reaches the
   // target (the scheduled wake is still in the heap).
   do {
     switch_out(lock, self);
-  } while (now_us_ < target);
+  } while (now_us_.load(std::memory_order_relaxed) < target);
 }
 
 void Engine::block(const char* reason) {
@@ -173,19 +213,31 @@ void Engine::unblock(int participant) {
   if (target.state == PState::kFinished || target.active) {
     return;
   }
-  heap_.push(Event{now_us_, next_seq_++, participant, nullptr});
+  heap_.push(Event{now_us_.load(std::memory_order_relaxed), next_seq_++,
+                   participant, kNoSlot});
 }
 
-void Engine::post(double at, std::function<void()> fn) {
-  CAF2_REQUIRE(fn != nullptr, "post() needs a callable");
+std::uint64_t Engine::reserve_seq() {
   std::lock_guard<std::mutex> lock(mutex_);
-  const double when = std::max(at, now_us_);
-  Event event;
-  event.at = when;
-  event.seq = next_seq_++;
-  event.wake_participant = -1;
-  event.call = std::move(fn);
-  heap_.push(std::move(event));
+  return next_seq_++;
+}
+
+void Engine::post_reserved(double at, std::uint64_t seq, InlineFn fn) {
+  CAF2_REQUIRE(static_cast<bool>(fn), "post_reserved() needs a callable");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double when =
+      std::max(at, now_us_.load(std::memory_order_relaxed));
+  const std::uint32_t slot = acquire_slot(std::move(fn));
+  heap_.push(Event{when, seq, -1, slot});
+}
+
+void Engine::post_call(double at, InlineFn fn) {
+  CAF2_REQUIRE(static_cast<bool>(fn), "post() needs a callable");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double when =
+      std::max(at, now_us_.load(std::memory_order_relaxed));
+  const std::uint32_t slot = acquire_slot(std::move(fn));
+  heap_.push(Event{when, next_seq_++, -1, slot});
 }
 
 void Engine::participant_main(int id, const std::function<void(int)>& body) {
@@ -229,7 +281,7 @@ void Engine::participant_main(int id, const std::function<void(int)>& body) {
   if (finished_count_ == size() || failed_) {
     done_cv_.notify_all();
   } else {
-    dispatch_chain(lock);
+    dispatch_chain(lock, nullptr);
   }
   tls_context = {};
 }
@@ -241,7 +293,7 @@ void Engine::run(const std::function<void(int)>& body) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& participant : participants_) {
-      heap_.push(Event{0.0, next_seq_++, participant->id, nullptr});
+      heap_.push(Event{0.0, next_seq_++, participant->id, kNoSlot});
     }
   }
   for (auto& participant : participants_) {
@@ -253,7 +305,7 @@ void Engine::run(const std::function<void(int)>& body) {
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    dispatch_chain(lock);  // hand the token to participant 0
+    dispatch_chain(lock, nullptr);  // hand the token to participant 0
     done_cv_.wait(lock, [this] {
       return finished_count_ == size() || failed_;
     });

@@ -19,11 +19,21 @@
 ///  - participants that block without a scheduled wake are resumed only by a
 ///    subsequent unblock() from a callback or another participant.
 ///
+/// Two hot-path properties keep dispatch cheap (DESIGN.md §4.6):
+///  - heap events are 24-byte PODs; a Call event's closure lives in a pooled
+///    small-buffer slot (InlineFn), not in a freshly allocated std::function;
+///  - when advance()/yield() can prove the caller's own wake would be the
+///    very next event dispatched, it short-circuits the push/pop/handoff
+///    entirely (the self-wake fast path). The fast path is trace-identical
+///    to the slow path; set CAF2_SIM_NO_FASTPATH=1 (or
+///    EngineOptions::enable_fastpath = false) to force the slow path.
+///
 /// If the heap drains while unfinished participants are blocked, the
 /// simulated program has provably deadlocked; the engine raises a
 /// caf2::FatalError in every participant with a diagnostic listing who was
 /// blocked where.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -35,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/trace.hpp"
 #include "support/error.hpp"
 
@@ -45,6 +56,12 @@ struct EngineOptions {
   bool record_trace = false;
   std::uint64_t max_events = 0;  ///< 0 = unlimited
   std::string label = "sim";
+
+  /// Enable the self-wake fast path (see file comment). The environment
+  /// variable CAF2_SIM_NO_FASTPATH=1 overrides this to false; results are
+  /// bit-identical either way, so the switch exists only for regression
+  /// testing and micro-benchmark comparisons.
+  bool enable_fastpath = true;
 };
 
 class Engine {
@@ -72,7 +89,7 @@ class Engine {
   static int current_id();
 
   /// Current virtual time in microseconds.
-  double now() const;
+  double now() const { return now_us_.load(std::memory_order_relaxed); }
 
   /// Model local computation: advance virtual time by \p dt microseconds and
   /// yield to any earlier event.
@@ -92,17 +109,39 @@ class Engine {
   void unblock(int participant);
 
   /// Schedule a callback at absolute virtual time \p at (>= now()).
-  void post(double at, std::function<void()> fn);
+  /// Accepts any move-constructible void() callable; closures up to
+  /// InlineFn::kInlineBytes are stored without heap allocation.
+  template <class F>
+  void post(double at, F&& fn) {
+    post_call(at, InlineFn(std::forward<F>(fn)));
+  }
 
   /// Schedule a callback \p delay microseconds from now.
-  void post_in(double delay, std::function<void()> fn) {
-    post(now() + delay, std::move(fn));
+  template <class F>
+  void post_in(double delay, F&& fn) {
+    post_call(now() + delay, InlineFn(std::forward<F>(fn)));
   }
+
+  /// Reserve the next event sequence number without scheduling anything.
+  /// Chained event sources (the network's message flights) reserve their
+  /// later phases' sequence numbers up front so that scheduling an event
+  /// lazily — from inside an earlier phase's callback — still dispatches in
+  /// exactly the order an eager schedule would have produced.
+  std::uint64_t reserve_seq();
+
+  /// Schedule a callback under a sequence number previously returned by
+  /// reserve_seq(). \p at is clamped to now() like post().
+  void post_reserved(double at, std::uint64_t seq, InlineFn fn);
 
   /// --- introspection -------------------------------------------------------
 
   /// Total events dispatched so far.
-  std::uint64_t event_count() const;
+  std::uint64_t event_count() const {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the self-wake fast path is active (options + environment).
+  bool fastpath_enabled() const { return fastpath_; }
 
   /// Recorded trace (empty unless EngineOptions::record_trace).
   const std::vector<TraceEntry>& trace() const { return trace_; }
@@ -119,11 +158,15 @@ class Engine {
     std::string block_reason;
   };
 
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Heap entry: a POD. Wake events carry the participant id; Call events
+  /// carry an index into call_pool_ where the closure lives.
   struct Event {
     double at = 0.0;
     std::uint64_t seq = 0;
-    int wake_participant = -1;              ///< >= 0 for Wake events
-    std::function<void()> call;             ///< non-null for Call events
+    std::int32_t wake_participant = -1;  ///< >= 0 for Wake events
+    std::uint32_t call_slot = kNoSlot;   ///< != kNoSlot for Call events
   };
 
   struct EventOrder {
@@ -145,8 +188,16 @@ class Engine {
   void switch_out(std::unique_lock<std::mutex>& lock, Participant& self);
 
   /// Pop and dispatch events until a participant is activated or the heap
-  /// drains. Returns with mutex_ held.
-  void dispatch_chain(std::unique_lock<std::mutex>& lock);
+  /// drains. Returns with mutex_ held. \p dispatcher is the participant
+  /// running this chain (nullptr when dispatching from run() or a finishing
+  /// participant); activating the dispatcher itself skips the condition-
+  /// variable notify, since the dispatcher observes `active` directly.
+  void dispatch_chain(std::unique_lock<std::mutex>& lock,
+                      Participant* dispatcher);
+
+  void post_call(double at, InlineFn fn);
+
+  std::uint32_t acquire_slot(InlineFn fn);
 
   void fail_locked(std::unique_lock<std::mutex>& lock, const std::string& why);
 
@@ -155,12 +206,19 @@ class Engine {
   mutable std::mutex mutex_;
   std::condition_variable done_cv_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> heap_;
+  std::vector<InlineFn> call_pool_;        ///< Call closures, slot-addressed
+  std::vector<std::uint32_t> free_slots_;  ///< recycled call_pool_ indices
   std::vector<std::unique_ptr<Participant>> participants_;
   EngineOptions options_;
+  bool fastpath_ = true;
 
-  double now_us_ = 0.0;
+  // now_us_ and dispatched_ are atomics so now()/event_count() stay callable
+  // without the engine lock; all *writes* happen on the single thread that
+  // currently owns the scheduler (token holder or dispatcher), so relaxed
+  // ordering suffices — cross-thread publication rides the mutex handoff.
+  std::atomic<double> now_us_{0.0};
+  std::atomic<std::uint64_t> dispatched_{0};
   std::uint64_t next_seq_ = 0;
-  std::uint64_t dispatched_ = 0;
   int finished_count_ = 0;
   bool failed_ = false;
   std::string failure_reason_;

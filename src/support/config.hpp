@@ -76,6 +76,11 @@ struct RuntimeOptions {
   /// infinite message loops in tests. Zero means unlimited.
   std::uint64_t max_events = 0;
 
+  /// Enable the simulator's self-wake fast path (sim/engine.hpp). Results
+  /// are bit-identical with it on or off; the switch exists for regression
+  /// tests and perf comparisons. CAF2_SIM_NO_FASTPATH=1 also disables it.
+  bool sim_fastpath = true;
+
   /// Human-readable label used in error messages and traces.
   std::string label = "caf2";
 };

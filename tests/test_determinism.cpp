@@ -1,0 +1,133 @@
+/// Determinism regression tests for the scheduler fast path (DESIGN.md §4.6).
+///
+/// The self-wake fast path and the pooled Call-event storage are pure
+/// performance transformations: the engine must produce *bit-identical*
+/// results with them enabled, disabled via EngineOptions, or disabled via
+/// the CAF2_SIM_NO_FASTPATH environment variable. These tests pin that down
+/// at both layers:
+///  - engine level: recorded traces (every scheduler decision) must match
+///    entry for entry between fast path on and off;
+///  - runtime level: a seeded RandomAccess workload over the jittered
+///    Gemini-class network must dispatch the same number of events, end at
+///    the same virtual time, and compute the same kernel timings.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/caf2.hpp"
+#include "kernels/randomaccess.hpp"
+#include "sim/engine.hpp"
+#include "sim/participant.hpp"
+
+namespace {
+
+using namespace caf2::sim;
+
+/// A workload that exercises every fast-path decision point: self-wakes
+/// (advance with an empty/later heap), contested wakes (equal-time events
+/// from other participants), Call callbacks, blocking, and stray unblocks.
+void mixed_body(int id) {
+  Engine& e = this_engine();
+  for (int i = 0; i < 25; ++i) {
+    e.advance(0.1 * (id + 1));
+    if (i % 3 == 0) {
+      e.post_in(0.05, [] {});
+    }
+    if (i % 7 == 0) {
+      e.unblock((id + 1) % e.size());
+    }
+    if (i % 5 == 0) {
+      e.yield();
+    }
+  }
+}
+
+std::string traced_run(bool enable_fastpath) {
+  EngineOptions options;
+  options.record_trace = true;
+  options.enable_fastpath = enable_fastpath;
+  Engine engine(4, options);
+  engine.run(mixed_body);
+  EXPECT_EQ(engine.fastpath_enabled(), enable_fastpath);
+  EXPECT_GT(engine.trace().size(), 100u);
+  return render_trace(engine.trace());
+}
+
+TEST(Determinism, EngineTraceIdenticalAcrossRepeats) {
+  EXPECT_EQ(traced_run(true), traced_run(true));
+}
+
+TEST(Determinism, EngineTraceIdenticalFastPathOnAndOff) {
+  EXPECT_EQ(traced_run(true), traced_run(false));
+}
+
+TEST(Determinism, EnvVarForcesSlowPathWithIdenticalTrace) {
+  const std::string baseline = traced_run(true);
+  ASSERT_EQ(setenv("CAF2_SIM_NO_FASTPATH", "1", 1), 0);
+  EngineOptions options;
+  options.record_trace = true;
+  options.enable_fastpath = true;  // env var must win
+  Engine engine(4, options);
+  engine.run(mixed_body);
+  unsetenv("CAF2_SIM_NO_FASTPATH");
+  EXPECT_FALSE(engine.fastpath_enabled());
+  EXPECT_EQ(render_trace(engine.trace()), baseline);
+}
+
+/// One full-stack seeded run: RandomAccess with function shipping on the
+/// jittered Gemini-class interconnect, returning simulator statistics plus
+/// the kernel's own virtual-time measurement.
+struct StackResult {
+  caf2::RunStats stats;
+  double elapsed_us = 0.0;
+
+  bool operator==(const StackResult& other) const {
+    return stats.events == other.stats.events &&
+           stats.virtual_us == other.stats.virtual_us &&
+           elapsed_us == other.elapsed_us;
+  }
+};
+
+StackResult stack_run(bool fastpath) {
+  caf2::RuntimeOptions options;
+  options.num_images = 4;
+  options.net = caf2::NetworkParams::gemini_like();
+  options.seed = 20130520;
+  options.sim_fastpath = fastpath;
+  StackResult result;
+  result.stats = caf2::run_stats(options, [&] {
+    caf2::kernels::RaConfig config;
+    config.log2_local_table = 10;
+    config.updates_per_image = 256;
+    config.bunch = 64;
+    const auto stats =
+        caf2::kernels::ra_run_function_shipping(caf2::team_world(), config);
+    if (caf2::this_image() == 0) {
+      result.elapsed_us = stats.elapsed_us;
+    }
+  });
+  EXPECT_EQ(result.stats.fastpath, fastpath);
+  EXPECT_GT(result.stats.events, 1000u);
+  return result;
+}
+
+TEST(Determinism, RuntimeWorkloadIdenticalAcrossRepeats) {
+  const StackResult first = stack_run(true);
+  const StackResult second = stack_run(true);
+  EXPECT_EQ(first.stats.events, second.stats.events);
+  EXPECT_EQ(first.stats.virtual_us, second.stats.virtual_us);
+  EXPECT_EQ(first.elapsed_us, second.elapsed_us);
+}
+
+TEST(Determinism, RuntimeWorkloadIdenticalFastPathOnAndOff) {
+  const StackResult fast = stack_run(true);
+  const StackResult slow = stack_run(false);
+  EXPECT_EQ(fast.stats.events, slow.stats.events);
+  EXPECT_EQ(fast.stats.virtual_us, slow.stats.virtual_us);
+  EXPECT_EQ(fast.elapsed_us, slow.elapsed_us);
+}
+
+}  // namespace
