@@ -23,6 +23,7 @@ RunStats run_stats(const RuntimeOptions& options,
   stats.events = runtime.engine().event_count();
   stats.virtual_us = runtime.engine().now();
   stats.fastpath = runtime.engine().fastpath_enabled();
+  stats.faults = runtime.network().fault_stats();
   return stats;
 }
 

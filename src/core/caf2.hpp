@@ -47,6 +47,7 @@ struct RunStats {
   std::uint64_t events = 0;  ///< engine events dispatched
   double virtual_us = 0.0;   ///< final virtual time
   bool fastpath = true;      ///< self-wake fast path was active
+  FaultStats faults{};       ///< injected-fault / retransmission counters
 };
 
 /// Like run(), but returns the simulator statistics of the finished run.

@@ -1,13 +1,34 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 namespace caf2::net {
 
 Network::Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed)
     : engine_(engine),
-      params_(params),
+      params_(std::move(params)),
       jitter_rng_(seed),
       mailboxes_(static_cast<std::size_t>(engine.size())),
-      traffic_(static_cast<std::size_t>(engine.size())) {}
+      traffic_(static_cast<std::size_t>(engine.size())),
+      // The fault stream is independent of the jitter stream so that
+      // enabling a FaultPlan leaves a run's jitter draws untouched.
+      fault_rng_(SplitMix64(seed).child(1)) {
+  params_.validate();
+  reliable_ = params_.reliable_delivery();
+  faults_active_ = params_.faults.active();
+  if (reliable_) {
+    links_.resize(static_cast<std::size_t>(engine.size()) *
+                  static_cast<std::size_t>(engine.size()));
+    max_extra_delay_us_ = params_.faults.all.delay_max_us;
+    for (const LinkFaults& link : params_.faults.links) {
+      max_extra_delay_us_ = std::max(max_extra_delay_us_, link.delay_max_us);
+    }
+    for (const ScriptedFault& fault : params_.faults.scripted) {
+      max_extra_delay_us_ = std::max(max_extra_delay_us_, fault.delay_us);
+    }
+  }
+}
 
 Mailbox& Network::mailbox(int image) {
   CAF2_REQUIRE(image >= 0 && image < size(), "mailbox(): image out of range");
@@ -27,10 +48,9 @@ void Network::reset_traffic() {
 
 Network::Timing Network::plan(double now, std::size_t bytes) {
   Timing timing{};
+  // bandwidth is validated > 0 (infinity => instantaneous staging).
   const double inject =
-      params_.bandwidth_bytes_per_us > 0.0
-          ? static_cast<double>(bytes) / params_.bandwidth_bytes_per_us
-          : 0.0;
+      static_cast<double>(bytes) / params_.bandwidth_bytes_per_us;
   timing.stage_at = now + inject;
   double jitter = 0.0;
   if (params_.jitter_us > 0.0) {
@@ -80,6 +100,10 @@ void Network::schedule_deliver(Flight flight) {
 void Network::send(Message message, SendCallbacks callbacks) {
   CAF2_REQUIRE(message.header.dest >= 0 && message.header.dest < size(),
                "send(): destination image out of range");
+  if (reliable_) {
+    send_reliable(std::move(message), std::move(callbacks));
+    return;
+  }
   Flight flight;
   flight.timing = plan(engine_.now(), message.size_bytes());
   flight.message = std::move(message);
@@ -126,6 +150,11 @@ void Network::send_staged(MessageHeader header, std::size_t size_hint,
   CAF2_REQUIRE(header.dest >= 0 && header.dest < size(),
                "send_staged(): destination image out of range");
   CAF2_REQUIRE(read != nullptr, "send_staged(): needs a staging reader");
+  if (reliable_) {
+    send_staged_reliable(header, size_hint, std::move(read),
+                         std::move(callbacks));
+    return;
+  }
   const Timing timing = plan(engine_.now(), size_hint);
 
   // At staging time the network reads the source buffer; only then does the
@@ -158,6 +187,286 @@ void Network::send_staged(MessageHeader header, std::size_t size_hint,
         account_send(flight.message);
         schedule_deliver(std::move(flight));
       });
+}
+
+/// --- reliable-delivery protocol ----------------------------------------------
+
+bool Network::LinkState::accept(std::uint64_t seq) {
+  if (seq < dedup_floor || seen.contains(seq)) {
+    return false;
+  }
+  seen.insert(seq);
+  while (seen.contains(dedup_floor)) {
+    seen.erase(dedup_floor);
+    ++dedup_floor;
+  }
+  return true;
+}
+
+Network::LinkState& Network::link(int source, int dest) {
+  return links_[static_cast<std::size_t>(source) *
+                    static_cast<std::size_t>(size()) +
+                static_cast<std::size_t>(dest)];
+}
+
+double Network::auto_rto(double inject_us) const {
+  const double round_trip = inject_us + params_.latency_us +
+                            params_.jitter_us +
+                            params_.effective_ack_latency_us();
+  return 2.0 * round_trip + max_extra_delay_us_ + 1.0;
+}
+
+std::uint64_t Network::admit_flight(Message message, SendCallbacks callbacks,
+                                    double inject_us) {
+  account_send(message);
+  LinkState& sender = link(message.header.source, message.header.dest);
+  const std::uint64_t id = next_flight_id_++;
+  ReliableFlight flight;
+  flight.seq = sender.next_seq++;
+  flight.ordinal = ++sender.initiated;
+  flight.inject_us = inject_us;
+  flight.first_sent_us = engine_.now();
+  flight.rto_us = params_.reliability.rto_us > 0.0
+                      ? params_.reliability.rto_us
+                      : auto_rto(inject_us);
+  flight.callbacks = std::move(callbacks);
+  flight.message = std::make_shared<const Message>(std::move(message));
+  inflight_.emplace(id, std::move(flight));
+  return id;
+}
+
+Network::AttemptFaults Network::roll_faults(const ReliableFlight& flight) {
+  AttemptFaults faults;
+  if (params_.jitter_us > 0.0) {
+    faults.jitter_us = jitter_rng_.next_double() * params_.jitter_us;
+  }
+  if (!faults_active_) {
+    return faults;
+  }
+  const MessageHeader& header = flight.message->header;
+  // A fixed number of fault-stream draws per attempt keeps the stream
+  // aligned no matter which faults actually fire.
+  const double u_drop = fault_rng_.next_double();
+  const double u_dup = fault_rng_.next_double();
+  const double u_ack = fault_rng_.next_double();
+  const double u_dup_ack = fault_rng_.next_double();
+  const double u_delay = fault_rng_.next_double();
+  const double u_delay_amount = fault_rng_.next_double();
+  const double u_dup_offset = fault_rng_.next_double();
+
+  const LinkFaults& lf =
+      params_.faults.resolve(header.source, header.dest);
+  faults.drop = u_drop < lf.drop_probability;
+  faults.duplicate = u_dup < lf.dup_probability;
+  faults.ack_drop = u_ack < lf.ack_drop_probability;
+  faults.dup_ack_drop = u_dup_ack < lf.ack_drop_probability;
+  if (u_delay < lf.delay_probability) {
+    faults.extra_delay_us = u_delay_amount * lf.delay_max_us;
+  }
+  faults.dup_offset_us = u_dup_offset * params_.jitter_us;
+
+  for (const ScriptedFault& scripted : params_.faults.scripted) {
+    if (scripted.source != header.source || scripted.dest != header.dest ||
+        scripted.nth != flight.ordinal ||
+        (scripted.attempt != 0 && scripted.attempt != flight.attempts)) {
+      continue;
+    }
+    fault_stats_.scripted_applied += 1;
+    switch (scripted.kind) {
+      case FaultKind::kDrop:
+        faults.drop = true;
+        break;
+      case FaultKind::kDuplicate:
+        faults.duplicate = true;
+        break;
+      case FaultKind::kDelay:
+        faults.extra_delay_us += scripted.delay_us;
+        break;
+    }
+  }
+  return faults;
+}
+
+void Network::start_attempt(std::uint64_t id) {
+  auto it = inflight_.find(id);
+  CAF2_ASSERT(it != inflight_.end(), "start_attempt: unknown flight");
+  ReliableFlight& flight = it->second;
+  flight.attempts += 1;
+
+  const AttemptFaults faults = roll_faults(flight);
+  if (faults.drop) {
+    fault_stats_.deliveries_dropped += 1;
+  }
+  if (faults.duplicate) {
+    fault_stats_.deliveries_duplicated += 1;
+  }
+  if (faults.extra_delay_us > 0.0) {
+    fault_stats_.deliveries_delayed += 1;
+  }
+
+  // The first attempt is launched at staging time (injection already
+  // elapsed); retransmissions re-inject the payload from scratch.
+  const double base =
+      engine_.now() + (flight.attempts == 1 ? 0.0 : flight.inject_us);
+  const double deliver_at = base + params_.latency_us + faults.jitter_us +
+                            faults.extra_delay_us;
+  if (!faults.drop) {
+    engine_.post(deliver_at, [this, message = flight.message,
+                              seq = flight.seq, id,
+                              ack_dropped = faults.ack_drop] {
+      deliver_attempt(message, seq, id, ack_dropped);
+    });
+  }
+  if (faults.duplicate) {
+    engine_.post(deliver_at + faults.dup_offset_us,
+                 [this, message = flight.message, seq = flight.seq, id,
+                  ack_dropped = faults.dup_ack_drop] {
+                   deliver_attempt(message, seq, id, ack_dropped);
+                 });
+  }
+  engine_.post(engine_.now() + flight.rto_us,
+               [this, id, attempt = flight.attempts] {
+                 on_retransmit_timer(id, attempt);
+               });
+}
+
+void Network::deliver_attempt(const std::shared_ptr<const Message>& message,
+                              std::uint64_t seq, std::uint64_t flight_id,
+                              bool ack_dropped) {
+  const MessageHeader& header = message->header;
+  LinkState& receiver = link(header.source, header.dest);
+  if (receiver.accept(seq)) {
+    const std::size_t dest = static_cast<std::size_t>(header.dest);
+    traffic_[dest].messages_in += 1;
+    traffic_[dest].bytes_in += message->size_bytes();
+    mailboxes_[dest].push(*message);
+    engine_.unblock(header.dest);
+  } else {
+    fault_stats_.duplicates_suppressed += 1;
+  }
+  // Duplicates and retransmits are re-acknowledged: that is what recovers
+  // from a lost ack without redelivering the message.
+  if (ack_dropped) {
+    fault_stats_.acks_dropped += 1;
+    return;
+  }
+  engine_.post(engine_.now() + params_.effective_ack_latency_us(),
+               [this, flight_id] { handle_ack(flight_id); });
+}
+
+void Network::handle_ack(std::uint64_t id) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) {
+    return;  // duplicate or late ack of a completed flight
+  }
+  SendCallbacks callbacks = std::move(it->second.callbacks);
+  inflight_.erase(it);
+  if (callbacks.on_acked) {
+    callbacks.on_acked();
+  }
+}
+
+void Network::on_retransmit_timer(std::uint64_t id, int attempt) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) {
+    return;  // acknowledged; the timer is stale
+  }
+  ReliableFlight& flight = it->second;
+  if (flight.attempts != attempt) {
+    return;  // a newer attempt rearmed its own timer
+  }
+  if (flight.attempts >= params_.reliability.max_attempts) {
+    const MessageHeader& header = flight.message->header;
+    std::ostringstream os;
+    os << "reliable delivery failed: message " << header.source << "->"
+       << header.dest << " (link seq " << flight.seq << ", ordinal "
+       << flight.ordinal << ", handler " << header.handler << ", "
+       << flight.message->size_bytes() << " B) undelivered after "
+       << flight.attempts << " attempts over "
+       << engine_.now() - flight.first_sent_us << " us (retry cap "
+       << params_.reliability.max_attempts << ")";
+    engine_.fail(os.str());
+    return;
+  }
+  fault_stats_.retransmits += 1;
+  flight.rto_us *= params_.reliability.backoff;
+  start_attempt(id);
+}
+
+void Network::send_reliable(Message message, SendCallbacks callbacks) {
+  const double inject =
+      static_cast<double>(message.size_bytes()) /
+      params_.bandwidth_bytes_per_us;
+  const double stage_at = engine_.now() + inject;
+  const std::uint64_t id =
+      admit_flight(std::move(message), std::move(callbacks), inject);
+  engine_.post(stage_at, [this, id] {
+    auto it = inflight_.find(id);
+    CAF2_ASSERT(it != inflight_.end(), "reliable stage: unknown flight");
+    if (it->second.callbacks.on_staged) {
+      auto staged = std::move(it->second.callbacks.on_staged);
+      it->second.callbacks.on_staged = nullptr;
+      staged();
+    }
+    start_attempt(id);
+  });
+}
+
+void Network::send_staged_reliable(
+    MessageHeader header, std::size_t size_hint,
+    std::function<std::vector<std::uint8_t>()> read,
+    SendCallbacks callbacks) {
+  const double inject =
+      static_cast<double>(size_hint) / params_.bandwidth_bytes_per_us;
+  const double stage_at = engine_.now() + inject;
+  engine_.post(stage_at, [this, header, inject, read = std::move(read),
+                          callbacks = std::move(callbacks)]() mutable {
+    Message message;
+    message.header = header;
+    message.payload = read();
+    if (callbacks.on_staged) {
+      callbacks.on_staged();
+      callbacks.on_staged = nullptr;
+    }
+    const std::uint64_t id =
+        admit_flight(std::move(message), std::move(callbacks), inject);
+    start_attempt(id);
+  });
+}
+
+std::string Network::describe_state() const {
+  std::ostringstream os;
+  os << "network: reliable delivery "
+     << (reliable_ ? "on" : "off");
+  if (!reliable_) {
+    os << "\n";
+    return os.str();
+  }
+  os << ", " << inflight_.size() << " in-flight message"
+     << (inflight_.size() == 1 ? "" : "s") << "\n";
+  constexpr std::size_t kMaxListed = 16;
+  std::size_t listed = 0;
+  for (const auto& [id, flight] : inflight_) {
+    if (listed == kMaxListed) {
+      os << "  ... " << inflight_.size() - kMaxListed << " more\n";
+      break;
+    }
+    const MessageHeader& header = flight.message->header;
+    os << "  flight " << header.source << "->" << header.dest << " seq "
+       << flight.seq << " attempt " << flight.attempts << "/"
+       << params_.reliability.max_attempts << " handler " << header.handler
+       << " " << flight.message->size_bytes() << " B first-sent t="
+       << flight.first_sent_us << " us rto " << flight.rto_us << " us\n";
+    ++listed;
+  }
+  os << "fault stats: drops=" << fault_stats_.deliveries_dropped
+     << " dups=" << fault_stats_.deliveries_duplicated
+     << " delays=" << fault_stats_.deliveries_delayed
+     << " ack_drops=" << fault_stats_.acks_dropped
+     << " retransmits=" << fault_stats_.retransmits
+     << " dups_suppressed=" << fault_stats_.duplicates_suppressed
+     << " scripted=" << fault_stats_.scripted_applied << "\n";
+  return os.str();
 }
 
 }  // namespace caf2::net

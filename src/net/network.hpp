@@ -22,10 +22,31 @@
 /// send_staged() defers reading the source buffer to staging time: this is
 /// what makes "overwrite the source before cofence()" a real data hazard in
 /// the simulation, exactly as on hardware with a zero-copy NIC.
+///
+/// Reliable delivery (DESIGN.md §4.7). With an active FaultPlan (or
+/// ReliabilityParams::Mode::kOn) the network layers a retransmission
+/// protocol over the lossy wire:
+///  - every message carries a per-(source, dest) sequence number and is
+///    retained at the sender until acknowledged;
+///  - the receiver keeps a per-link dedup window (a compacted set of seen
+///    sequence numbers), so duplicated or retransmitted deliveries land in
+///    the mailbox exactly once — and acks are re-sent for duplicates, which
+///    recovers from lost acks;
+///  - a virtual-time retransmit timer with exponential backoff resends
+///    unacknowledged messages; after ReliabilityParams::max_attempts the
+///    engine fails the run with a watchdog report naming the undeliverable
+///    message instead of hanging.
+/// on_staged fires exactly once (at the first attempt's staging point) and
+/// on_acked exactly once (at the first acknowledgement), so finish counters
+/// and cofence hazards are oblivious to loss. When the protocol is off, the
+/// seed's bare three-event flight chain runs unchanged.
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "net/mailbox.hpp"
@@ -89,6 +110,21 @@ class Network {
   /// measurement phases).
   void reset_traffic();
 
+  /// --- reliability / fault introspection -----------------------------------
+
+  /// True when the reliable-delivery protocol is layered in for this run.
+  bool reliable() const { return reliable_; }
+
+  /// Injected-fault and protocol counters (all zero when reliable() is off).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Number of reliable messages currently unacknowledged.
+  std::size_t inflight_reliable() const { return inflight_.size(); }
+
+  /// Watchdog-report section: in-flight reliable messages (sender, receiver,
+  /// sequence number, attempts, age) plus the fault counters.
+  std::string describe_state() const;
+
  private:
   struct Timing {
     double stage_at;
@@ -122,6 +158,80 @@ class Network {
   /// Execute the delivery (and, when ack_at coincides, the ack) now.
   void run_deliver_phase(Flight flight);
 
+  /// --- reliable-delivery protocol ------------------------------------------
+
+  /// Per-(source, dest) link state. The sender side assigns sequence numbers
+  /// and initiation ordinals; the receiver side keeps the dedup window: the
+  /// set of seen sequence numbers at or above `dedup_floor`, compacted by
+  /// advancing the floor over contiguous runs (everything below the floor
+  /// has been seen).
+  struct LinkState {
+    std::uint64_t next_seq = 0;
+    std::uint64_t initiated = 0;
+    std::uint64_t dedup_floor = 0;
+    std::set<std::uint64_t> seen;
+
+    /// First sighting of \p seq? (Inserts and compacts when it is.)
+    bool accept(std::uint64_t seq);
+  };
+
+  /// Fault decisions and timing draws for one delivery attempt. A fixed
+  /// number of RNG values is consumed per attempt regardless of outcomes, so
+  /// the fault stream stays aligned across configuration tweaks.
+  struct AttemptFaults {
+    bool drop = false;
+    bool duplicate = false;
+    bool ack_drop = false;      ///< ack of the primary delivery is lost
+    bool dup_ack_drop = false;  ///< ack of the duplicate delivery is lost
+    double extra_delay_us = 0.0;
+    double jitter_us = 0.0;
+    double dup_offset_us = 0.0;  ///< duplicate lands this much later
+  };
+
+  /// One unacknowledged reliable message, retained for retransmission.
+  struct ReliableFlight {
+    std::shared_ptr<const Message> message;
+    SendCallbacks callbacks;
+    std::uint64_t seq = 0;      ///< per-link sequence number
+    std::uint64_t ordinal = 0;  ///< per-link initiation ordinal (1-based)
+    int attempts = 0;           ///< delivery attempts made so far
+    double first_sent_us = 0.0;
+    double inject_us = 0.0;     ///< injection cost charged per attempt
+    double rto_us = 0.0;        ///< current retransmit timeout
+  };
+
+  void send_reliable(Message message, SendCallbacks callbacks);
+  void send_staged_reliable(MessageHeader header, std::size_t size_hint,
+                            std::function<std::vector<std::uint8_t>()> read,
+                            SendCallbacks callbacks);
+
+  /// Register a new flight (assigns link seq + ordinal) and return its id.
+  std::uint64_t admit_flight(Message message, SendCallbacks callbacks,
+                             double inject_us);
+
+  /// Launch the next delivery attempt of flight \p id: roll faults, post the
+  /// delivery (and duplicate) events, and arm the retransmit timer.
+  void start_attempt(std::uint64_t id);
+
+  AttemptFaults roll_faults(const ReliableFlight& flight);
+
+  /// Receiver side of one physical delivery (primary or duplicate).
+  void deliver_attempt(const std::shared_ptr<const Message>& message,
+                       std::uint64_t seq, std::uint64_t flight_id,
+                       bool ack_dropped);
+
+  /// Sender side of one acknowledgement; idempotent (late/duplicate acks of
+  /// an already-completed flight are ignored).
+  void handle_ack(std::uint64_t id);
+
+  void on_retransmit_timer(std::uint64_t id, int attempt);
+
+  /// Default initial retransmit timeout: a little over twice the worst-case
+  /// round trip, including the largest configured fault delay.
+  double auto_rto(double inject_us) const;
+
+  LinkState& link(int source, int dest);
+
   sim::Engine& engine_;
   NetworkParams params_;
   Xoshiro256ss jitter_rng_;
@@ -129,6 +239,16 @@ class Network {
   std::vector<ImageTraffic> traffic_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+
+  // reliable-delivery state (empty when reliable_ is false)
+  bool reliable_ = false;
+  bool faults_active_ = false;
+  Xoshiro256ss fault_rng_;
+  std::vector<LinkState> links_;  ///< size() * size(), row-major by source
+  std::map<std::uint64_t, ReliableFlight> inflight_;
+  std::uint64_t next_flight_id_ = 0;
+  double max_extra_delay_us_ = 0.0;
+  FaultStats fault_stats_;
 };
 
 }  // namespace caf2::net

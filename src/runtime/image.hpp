@@ -104,6 +104,11 @@ class Image {
   /// Per-scope state, created on demand (messages may arrive before this
   /// image enters the matching finish block).
   FinishState& finish_state(const net::FinishKey& key);
+
+  /// Read-only view of every live finish-scope state (watchdog diagnostics).
+  const std::unordered_map<net::FinishKey, FinishState>& finish_states() const {
+    return finish_states_;
+  }
   bool has_finish_state(const net::FinishKey& key) const;
   void erase_finish_state(const net::FinishKey& key);
 

@@ -1,6 +1,7 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "sim/participant.hpp"
 
@@ -40,10 +41,12 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   engine_options.max_events = options_.max_events;
   engine_options.label = options_.label;
   engine_options.enable_fastpath = options_.sim_fastpath;
+  engine_options.watchdog_quiet_us = options_.watchdog_quiet_us;
   engine_ = std::make_unique<sim::Engine>(options_.num_images,
                                           std::move(engine_options));
   network_ = std::make_unique<net::Network>(*engine_, options_.net,
                                             SplitMix64(options_.seed).child(0));
+  engine_->set_diagnostics([this] { return watchdog_report(); });
   SplitMix64 seeder(options_.seed);
   images_.reserve(static_cast<std::size_t>(options_.num_images));
   for (int rank = 0; rank < options_.num_images; ++rank) {
@@ -94,12 +97,50 @@ void Runtime::run(const std::function<void()>& body) {
       }
       tls_image = nullptr;
       tls_runtime = nullptr;
+    } catch (const UsageError& e) {
+      // Tag escaping exceptions with the faulting image's rank. Usage errors
+      // keep their type (callers assert on it); everything else is a runtime
+      // fault.
+      tls_image = nullptr;
+      tls_runtime = nullptr;
+      throw UsageError("image " + std::to_string(id) + ": " + e.what());
+    } catch (const std::exception& e) {
+      tls_image = nullptr;
+      tls_runtime = nullptr;
+      throw FatalError("image " + std::to_string(id) + ": " + e.what());
     } catch (...) {
       tls_image = nullptr;
       tls_runtime = nullptr;
-      throw;
+      throw FatalError("image " + std::to_string(id) +
+                       ": unknown exception escaped the image body");
     }
   });
+}
+
+std::string Runtime::watchdog_report() {
+  std::ostringstream os;
+  for (int rank = 0; rank < num_images(); ++rank) {
+    Image& img = *images_[static_cast<std::size_t>(rank)];
+    os << "image " << rank << ": mailbox pending="
+       << network_->mailbox(rank).size()
+       << " cofence scopes=" << img.cofence_tracker().depth()
+       << " outstanding implicit ops="
+       << img.cofence_tracker().current().outstanding() << "\n";
+    for (const auto& [key, state] : img.finish_states()) {
+      const EpochCounters& even = state.even();
+      const EpochCounters& odd = state.odd();
+      os << "  finish (team " << key.team << ", seq " << key.seq << ")"
+         << (state.terminated() ? " terminated" : "")
+         << (state.present_odd() ? " odd-epoch" : " even-epoch")
+         << " rounds=" << state.rounds() << " even{sent=" << even.sent
+         << ", delivered=" << even.delivered << ", received=" << even.received
+         << ", completed=" << even.completed << "} odd{sent=" << odd.sent
+         << ", delivered=" << odd.delivered << ", received=" << odd.received
+         << ", completed=" << odd.completed << "}\n";
+    }
+  }
+  os << network_->describe_state();
+  return os.str();
 }
 
 SplitOp& Runtime::split_op(int team_id, std::uint32_t seq, int expected) {

@@ -47,8 +47,18 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Execute \p body SPMD on every image. A runtime can run once.
+  /// Execute \p body SPMD on every image. A runtime can run once. An
+  /// exception escaping an image's body (or a handler it runs) propagates
+  /// out of run() tagged with the image's rank: caf2::UsageError stays a
+  /// UsageError, everything else becomes a caf2::FatalError.
   void run(const std::function<void()>& body);
+
+  /// Runtime sections of the engine's stall/watchdog report: per-image
+  /// finish epoch counters {sent, delivered, received, completed},
+  /// outstanding implicit operations, pending mailbox messages, and the
+  /// network's in-flight reliable messages (see sim/engine.hpp and
+  /// DESIGN.md §4.7). Installed as the engine's diagnostics callback.
+  std::string watchdog_report();
 
   /// Runtime of the calling participant thread.
   static Runtime& current();

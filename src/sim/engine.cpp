@@ -60,6 +60,66 @@ void Engine::fail_locked(std::unique_lock<std::mutex>& lock,
   done_cv_.notify_all();
 }
 
+std::string Engine::stall_report_locked(const std::string& headline) const {
+  std::ostringstream os;
+  os << headline << " at t=" << now_us_.load(std::memory_order_relaxed)
+     << " us after " << dispatched_.load(std::memory_order_relaxed)
+     << " events\n";
+  os << "participants:\n";
+  for (const auto& participant : participants_) {
+    os << "  p" << participant->id << ": ";
+    switch (participant->state) {
+      case PState::kFinished:
+        os << "finished";
+        break;
+      case PState::kWaiting:
+        os << "blocked";
+        if (!participant->block_reason.empty()) {
+          os << " (" << participant->block_reason << ")";
+        }
+        break;
+      case PState::kIdle:
+        os << "not started";
+        break;
+      case PState::kRunnable:
+        os << "runnable";
+        break;
+    }
+    os << "\n";
+  }
+  if (diagnostics_) {
+    os << diagnostics_();
+  }
+  return os.str();
+}
+
+bool Engine::all_unfinished_blocked_locked() const {
+  bool any_waiting = false;
+  for (const auto& participant : participants_) {
+    switch (participant->state) {
+      case PState::kFinished:
+        break;
+      case PState::kWaiting:
+        any_waiting = true;
+        break;
+      case PState::kIdle:
+      case PState::kRunnable:
+        return false;
+    }
+  }
+  return any_waiting;
+}
+
+void Engine::fail(const std::string& why) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  fail_locked(lock, stall_report_locked(why));
+}
+
+void Engine::set_diagnostics(std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  diagnostics_ = std::move(fn);
+}
+
 std::uint32_t Engine::acquire_slot(InlineFn fn) {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();
@@ -83,22 +143,25 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
       return;
     }
     if (heap_.empty()) {
-      std::ostringstream os;
-      os << "deadlock: no pending events; blocked participants:";
-      for (const auto& participant : participants_) {
-        if (participant->state != PState::kFinished) {
-          os << " p" << participant->id;
-          if (!participant->block_reason.empty()) {
-            os << "(" << participant->block_reason << ")";
-          }
-        }
-      }
-      fail_locked(lock, os.str());
+      fail_locked(lock,
+                  stall_report_locked("deadlock: no pending events and every "
+                                      "unfinished participant is blocked"));
       return;
     }
     if (options_.max_events != 0 &&
         dispatched_.load(std::memory_order_relaxed) >= options_.max_events) {
       fail_locked(lock, "simulation event budget exceeded");
+      return;
+    }
+    if (options_.watchdog_quiet_us > 0.0 &&
+        heap_.top().at > now_us_.load(std::memory_order_relaxed) +
+                             options_.watchdog_quiet_us &&
+        all_unfinished_blocked_locked()) {
+      std::ostringstream os;
+      os << "watchdog: every image is blocked and no event is due within "
+         << options_.watchdog_quiet_us << " us (next event at t="
+         << heap_.top().at << " us)";
+      fail_locked(lock, stall_report_locked(os.str()));
       return;
     }
 

@@ -30,8 +30,15 @@
 ///
 /// If the heap drains while unfinished participants are blocked, the
 /// simulated program has provably deadlocked; the engine raises a
-/// caf2::FatalError in every participant with a diagnostic listing who was
-/// blocked where.
+/// caf2::FatalError in every participant with a structured *watchdog report*:
+/// its own per-participant section (who is blocked where) plus whatever the
+/// installed diagnostics callback contributes (the runtime adds per-image
+/// finish counters, outstanding implicit operations, and the network's
+/// in-flight/retransmitting messages — see rt::Runtime::watchdog_report).
+/// A virtual-time quiet-period watchdog (EngineOptions::watchdog_quiet_us)
+/// produces the same report when every unfinished participant is blocked and
+/// the next pending event is suspiciously far in the virtual future (e.g. a
+/// runaway retransmission backoff chain).
 
 #include <atomic>
 #include <condition_variable>
@@ -62,6 +69,14 @@ struct EngineOptions {
   /// bit-identical either way, so the switch exists only for regression
   /// testing and micro-benchmark comparisons.
   bool enable_fastpath = true;
+
+  /// Quiet-period watchdog (virtual microseconds; 0 = disabled). When every
+  /// unfinished participant is blocked and the earliest pending event lies
+  /// more than this far beyond the current virtual time, the engine fails
+  /// the run with a watchdog report instead of fast-forwarding the clock.
+  /// Participants that are merely advancing their clocks (modeled compute)
+  /// hold a scheduled wake and never trip the watchdog.
+  double watchdog_quiet_us = 0.0;
 };
 
 class Engine {
@@ -133,6 +148,20 @@ class Engine {
   /// reserve_seq(). \p at is clamped to now() like post().
   void post_reserved(double at, std::uint64_t seq, InlineFn fn);
 
+  /// Abort the run with a diagnosable failure: every blocked participant is
+  /// woken with a caf2::FatalError carrying \p why plus the full stall
+  /// report (participant states + diagnostics callback output). Callable
+  /// from a participant thread or an engine callback; the reliability layer
+  /// uses it when a message exhausts its retransmission budget.
+  void fail(const std::string& why);
+
+  /// Install a callback that contributes extra sections to stall reports
+  /// (deadlock, quiet-period watchdog, fail()). Invoked with the engine lock
+  /// held: it must not call back into the engine except now() and
+  /// event_count(), and must only *read* simulation state — safe, because a
+  /// stalling engine has no other context running.
+  void set_diagnostics(std::function<std::string()> fn);
+
   /// --- introspection -------------------------------------------------------
 
   /// Total events dispatched so far.
@@ -201,6 +230,15 @@ class Engine {
 
   void fail_locked(std::unique_lock<std::mutex>& lock, const std::string& why);
 
+  /// Compose the structured stall report: \p headline, then one line per
+  /// participant (state + blocked reason), then the diagnostics callback's
+  /// sections. Requires mutex_ held.
+  std::string stall_report_locked(const std::string& headline) const;
+
+  /// True when at least one participant is blocked and every unfinished one
+  /// is (i.e. only heap events can make progress). Requires mutex_ held.
+  bool all_unfinished_blocked_locked() const;
+
   void record(TraceKind kind, int participant);
 
   mutable std::mutex mutex_;
@@ -211,6 +249,7 @@ class Engine {
   std::vector<std::unique_ptr<Participant>> participants_;
   EngineOptions options_;
   bool fastpath_ = true;
+  std::function<std::string()> diagnostics_;
 
   // now_us_ and dispatched_ are atomics so now()/event_count() stay callable
   // without the engine lock; all *writes* happen on the single thread that

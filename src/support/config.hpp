@@ -11,8 +11,110 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace caf2 {
+
+/// --- fault injection ---------------------------------------------------------
+///
+/// The fault model perturbs the interconnect deterministically: every fault
+/// decision is drawn from a dedicated RNG stream (independent of the jitter
+/// stream), so a run with a given seed + FaultPlan is bit-reproducible —
+/// including with the scheduler fast path on or off. Faults only ever apply
+/// when the reliable-delivery protocol is active (see ReliabilityParams);
+/// injecting loss into the bare best-effort network would simply lose the
+/// message.
+
+/// What a scripted one-shot fault does to its target delivery attempt.
+enum class FaultKind : std::uint8_t {
+  kDrop,       ///< the delivery attempt never reaches the destination
+  kDuplicate,  ///< the delivery attempt lands twice
+  kDelay,      ///< the delivery attempt is delayed by delay_us
+};
+
+/// A scripted fault pins a fault to one specific message: "drop the 3rd
+/// message from image 2 to image 5". Messages are identified by their
+/// 1-based initiation ordinal on the (source, dest) link.
+struct ScriptedFault {
+  int source = 0;            ///< world rank of the sender
+  int dest = 0;              ///< world rank of the receiver
+  std::uint64_t nth = 1;     ///< 1-based message ordinal on the link
+  FaultKind kind = FaultKind::kDrop;
+  /// 1-based delivery attempt the fault applies to; 0 = every attempt
+  /// (a permanent black hole — used to exercise the retry cap).
+  int attempt = 1;
+  double delay_us = 0.0;     ///< extra delay for kDelay
+};
+
+/// Random per-delivery fault probabilities for one link (or, with wildcard
+/// endpoints, a set of links).
+struct LinkFaults {
+  int source = -1;  ///< world rank, -1 = any sender
+  int dest = -1;    ///< world rank, -1 = any receiver
+  double drop_probability = 0.0;      ///< delivery attempt is lost
+  double dup_probability = 0.0;       ///< delivery attempt lands twice
+  double ack_drop_probability = 0.0;  ///< delivery lands but its ack is lost
+  double delay_probability = 0.0;     ///< delivery gets extra delay
+  double delay_max_us = 0.0;          ///< extra delay ~ U[0, delay_max_us]
+  bool any() const {
+    return drop_probability > 0.0 || dup_probability > 0.0 ||
+           ack_drop_probability > 0.0 || delay_probability > 0.0;
+  }
+  bool matches(int src, int dst) const {
+    return (source < 0 || source == src) && (dest < 0 || dest == dst);
+  }
+};
+
+/// Deterministic, seeded fault schedule for a whole run.
+struct FaultPlan {
+  /// Probabilities applied to every link without a more specific entry.
+  LinkFaults all{};
+  /// Per-link overrides; the first entry matching (source, dest) replaces
+  /// `all` entirely for that delivery.
+  std::vector<LinkFaults> links;
+  /// One-shot faults pinned to specific messages.
+  std::vector<ScriptedFault> scripted;
+
+  /// True when the plan can inject at least one fault.
+  bool active() const;
+  /// The LinkFaults record governing a delivery on (source, dest).
+  const LinkFaults& resolve(int source, int dest) const;
+};
+
+/// Reliable-delivery protocol knobs (per-link sequence numbers, receiver
+/// dedup, virtual-time retransmission with exponential backoff).
+struct ReliabilityParams {
+  enum class Mode : std::uint8_t {
+    kAuto,  ///< enabled iff the FaultPlan is active
+    kOn,    ///< always layered in (costs ~2 extra events per message)
+    kOff,   ///< never (rejected at validation if the FaultPlan is active:
+            ///< injecting loss into a best-effort network just hangs)
+  };
+  Mode mode = Mode::kAuto;
+
+  /// Initial retransmit timeout. Negative = derive from the network
+  /// parameters (a little over twice the worst-case round trip).
+  double rto_us = -1.0;
+
+  /// Multiplier applied to the timeout after every retransmission.
+  double backoff = 2.0;
+
+  /// Total delivery attempts before the runtime gives up and raises a
+  /// diagnosable FatalError (with a watchdog report) instead of hanging.
+  int max_attempts = 8;
+};
+
+/// Counters of injected faults and protocol activity for one run
+/// (Network::fault_stats(), also surfaced through caf2::RunStats).
+struct FaultStats {
+  std::uint64_t deliveries_dropped = 0;     ///< attempts lost in the wire
+  std::uint64_t deliveries_duplicated = 0;  ///< attempts landing twice
+  std::uint64_t deliveries_delayed = 0;     ///< attempts given extra delay
+  std::uint64_t acks_dropped = 0;           ///< delivered but ack lost
+  std::uint64_t retransmits = 0;            ///< timer-driven resends
+  std::uint64_t duplicates_suppressed = 0;  ///< receiver dedup hits
+  std::uint64_t scripted_applied = 0;       ///< one-shot faults that fired
+};
 
 /// Interconnect model.
 ///
@@ -23,7 +125,8 @@ struct NetworkParams {
 
   /// Injection bandwidth in bytes per microsecond. The source buffer is read
   /// ("staged") size/bandwidth after initiation; local data completion is
-  /// reached at that point.
+  /// reached at that point. Must be > 0; use infinity for an ideal link that
+  /// stages instantly (NetworkParams::instant() does).
   double bandwidth_bytes_per_us = 2048.0;
 
   /// Fixed cost of running a message handler at the receiver.
@@ -44,9 +147,35 @@ struct NetworkParams {
   /// rejected, just as the prototype's steals were.
   std::uint32_t max_medium_payload = 4096;
 
+  /// Deterministic fault schedule (drops, duplicates, extra delays).
+  FaultPlan faults{};
+
+  /// Reliable-delivery protocol configuration. With Mode::kAuto the protocol
+  /// is layered in exactly when the fault plan is active, so fault-free runs
+  /// keep the bare network's event schedule (and performance) bit-for-bit.
+  ReliabilityParams reliability{};
+
   double effective_ack_latency_us() const {
     return ack_latency_us < 0 ? latency_us : ack_latency_us;
   }
+
+  /// True when the reliable-delivery protocol is layered into the network.
+  bool reliable_delivery() const {
+    switch (reliability.mode) {
+      case ReliabilityParams::Mode::kOn:
+        return true;
+      case ReliabilityParams::Mode::kOff:
+        return false;
+      case ReliabilityParams::Mode::kAuto:
+        return faults.active();
+    }
+    return false;
+  }
+
+  /// Validate every field; throws caf2::UsageError (via CAF2_REQUIRE) on
+  /// nonsense such as non-positive bandwidth, negative latency or jitter, or
+  /// out-of-range fault probabilities. Network's constructor calls this.
+  void validate() const;
 
   /// A zero-latency, zero-cost network; useful in unit tests that only check
   /// functional behaviour.
@@ -80,6 +209,15 @@ struct RuntimeOptions {
   /// are bit-identical with it on or off; the switch exists for regression
   /// tests and perf comparisons. CAF2_SIM_NO_FASTPATH=1 also disables it.
   bool sim_fastpath = true;
+
+  /// Virtual-time watchdog quiet period (microseconds). When > 0 and every
+  /// unfinished image is blocked while the next pending event is more than
+  /// this far in the virtual future, the run is aborted with a structured
+  /// watchdog report (per-image blocked reasons, finish epoch counters,
+  /// in-flight/retransmitting messages) instead of silently fast-forwarding
+  /// through, e.g., a runaway retransmission backoff chain. 0 disables the
+  /// quiet-period check; proven deadlocks always produce the full report.
+  double watchdog_quiet_us = 0.0;
 
   /// Human-readable label used in error messages and traces.
   std::string label = "caf2";

@@ -18,7 +18,10 @@
 #include <vector>
 
 #include "core/caf2.hpp"
+#include "core/detectors.hpp"
 #include "kernels/randomaccess.hpp"
+#include "runtime/internal.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/engine.hpp"
 #include "sim/participant.hpp"
 
@@ -128,6 +131,89 @@ TEST(Determinism, RuntimeWorkloadIdenticalFastPathOnAndOff) {
   EXPECT_EQ(fast.stats.events, slow.stats.events);
   EXPECT_EQ(fast.stats.virtual_us, slow.stats.virtual_us);
   EXPECT_EQ(fast.elapsed_us, slow.elapsed_us);
+}
+
+/// --- determinism under injected faults (DESIGN.md §4.7) ---------------------
+///
+/// Fault decisions come from a dedicated RNG stream, so a seeded run with an
+/// active FaultPlan must be bit-reproducible — including the full scheduler
+/// trace with the fast path on vs off.
+
+void fault_bump(caf2::Coref<long> counter) { counter.local()[0] += 1; }
+
+struct FaultyResult {
+  caf2::RunStats stats;
+  std::string trace;
+};
+
+FaultyResult faulty_traced_run(bool fastpath) {
+  caf2::RuntimeOptions options;
+  options.num_images = 4;
+  options.net = caf2::NetworkParams::gemini_like();
+  options.net.jitter_us = 0.5;
+  options.net.faults.all.drop_probability = 0.10;
+  options.net.faults.all.dup_probability = 0.05;
+  options.net.faults.all.ack_drop_probability = 0.05;
+  options.net.faults.all.delay_probability = 0.10;
+  options.net.faults.all.delay_max_us = 5.0;
+  options.seed = 424242;
+  options.sim_fastpath = fastpath;
+  options.record_trace = true;
+
+  caf2::rt::Runtime runtime(options);
+  caf2::rt::install_event_handlers(runtime);
+  caf2::ops::install_copy_handlers(runtime);
+  caf2::ops::install_spawn_handlers(runtime);
+  caf2::ops::install_collective_handlers(runtime);
+  caf2::core::install_detector_handlers(runtime);
+  runtime.run([] {
+    caf2::Team world = caf2::team_world();
+    caf2::Coarray<long> counter(world, 1);
+    counter[0] = 0;
+    caf2::team_barrier(world);
+    caf2::finish(world, [&] {
+      for (int target = 0; target < world.size(); ++target) {
+        caf2::spawn<fault_bump>(target, counter.ref());
+      }
+    });
+    EXPECT_EQ(counter[0], world.size());
+    caf2::team_barrier(world);
+  });
+
+  FaultyResult result;
+  result.stats.events = runtime.engine().event_count();
+  result.stats.virtual_us = runtime.engine().now();
+  result.stats.fastpath = runtime.engine().fastpath_enabled();
+  result.stats.faults = runtime.network().fault_stats();
+  result.trace = render_trace(runtime.engine().trace());
+  EXPECT_GT(result.stats.faults.deliveries_dropped +
+                result.stats.faults.deliveries_duplicated +
+                result.stats.faults.acks_dropped,
+            0u)
+      << "the plan must actually inject faults for this test to mean much";
+  return result;
+}
+
+TEST(Determinism, FaultyRunTraceIdenticalAcrossRepeats) {
+  const FaultyResult first = faulty_traced_run(true);
+  const FaultyResult second = faulty_traced_run(true);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.stats.events, second.stats.events);
+}
+
+TEST(Determinism, FaultyRunTraceIdenticalFastPathOnAndOff) {
+  const FaultyResult fast = faulty_traced_run(true);
+  const FaultyResult slow = faulty_traced_run(false);
+  EXPECT_EQ(fast.stats.fastpath, true);
+  EXPECT_EQ(slow.stats.fastpath, false);
+  EXPECT_EQ(fast.trace, slow.trace);
+  EXPECT_EQ(fast.stats.events, slow.stats.events);
+  EXPECT_EQ(fast.stats.virtual_us, slow.stats.virtual_us);
+  EXPECT_EQ(fast.stats.faults.deliveries_dropped,
+            slow.stats.faults.deliveries_dropped);
+  EXPECT_EQ(fast.stats.faults.retransmits, slow.stats.faults.retransmits);
+  EXPECT_EQ(fast.stats.faults.duplicates_suppressed,
+            slow.stats.faults.duplicates_suppressed);
 }
 
 }  // namespace
