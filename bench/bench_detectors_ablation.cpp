@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
   std::vector<int> sweep =
       args.images.empty() ? std::vector<int>{8, 32} : args.images;
-  if (args.quick) {
+  if (args.quick && args.images.empty()) {
     sweep = {8};
   }
 

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   const auto args = caf2::bench::parse_args(argc, argv);
   std::vector<int> sweep_images =
       args.images.empty() ? std::vector<int>{4, 8, 16, 32} : args.images;
-  if (args.quick) {
+  if (args.quick && args.images.empty()) {
     sweep_images = {4, 8};
   }
 

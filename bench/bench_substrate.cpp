@@ -29,8 +29,9 @@ using bench::SweepPoint;
 
 /// Measure a raw engine run (no runtime stack on top).
 BenchRecord measure_engine(int participants,
-                           const std::function<void(int)>& body) {
-  sim::Engine engine(participants);
+                           const std::function<void(int)>& body,
+                           sim::EngineOptions options = {}) {
+  sim::Engine engine(participants, options);
   WallTimer timer;
   engine.run(body);
   BenchRecord record;
@@ -41,7 +42,21 @@ BenchRecord measure_engine(int participants,
       record.wall_seconds > 0.0
           ? static_cast<double>(record.events) / record.wall_seconds
           : 0.0;
+  record.metrics.emplace_back(
+      "context_switches",
+      static_cast<double>(engine.context_switch_count()));
   return record;
+}
+
+/// Round-robin token hand-off body: every advance() moves the token to the
+/// next participant, so events/sec here *is* hand-off throughput.
+std::function<void(int)> handoff_body(int steps) {
+  return [steps](int) {
+    sim::Engine& e = sim::this_engine();
+    for (int i = 0; i < steps; ++i) {
+      e.advance(1.0);
+    }
+  };
 }
 
 std::vector<SweepPoint> build_sweep(const BenchArgs& args) {
@@ -58,15 +73,31 @@ std::vector<SweepPoint> build_sweep(const BenchArgs& args) {
                        }
                      });
                    }});
-  sweep.push_back({"engine/handoff4", [scale] {
-                     const int steps = 20'000 * scale;
-                     return measure_engine(4, [steps](int) {
-                       sim::Engine& e = sim::this_engine();
-                       for (int i = 0; i < steps; ++i) {
-                         e.advance(1.0);
-                       }
-                     });
-                   }});
+  // Hand-off throughput per backend: the same round-robin token workload
+  // forced onto OS threads vs fibers. The fiber backend's whole reason to
+  // exist is this ratio (DESIGN.md §4.8); expect well over 5x.
+  for (const int participants : {4, 64}) {
+    const std::string suffix = std::to_string(participants);
+    sweep.push_back({"engine/handoff" + suffix + "/threads",
+                     [scale, participants] {
+                       const int steps = 20'000 * scale / (participants / 4);
+                       sim::EngineOptions options;
+                       options.backend = ExecBackend::kThreads;
+                       return measure_engine(participants,
+                                             handoff_body(steps), options);
+                     }});
+    if (sim::fibers_supported()) {
+      sweep.push_back({"engine/handoff" + suffix + "/fibers",
+                       [scale, participants] {
+                         const int steps =
+                             20'000 * scale / (participants / 4);
+                         sim::EngineOptions options;
+                         options.backend = ExecBackend::kFibers;
+                         return measure_engine(participants,
+                                               handoff_body(steps), options);
+                       }});
+    }
+  }
   sweep.push_back({"engine/post", [scale] {
                      const int steps = 50'000 * scale;
                      return measure_engine(1, [steps](int) {

@@ -10,18 +10,28 @@
 #include <cstdio>
 
 #include "core/caf2.hpp"
+#include "runtime/image.hpp"
 
 namespace {
 
 using namespace caf2;
 
-thread_local bool tls_f2_executed = false;
-thread_local int tls_rank = -1;
+// Per-image "f2 ran here" flag (Image::scratch, not thread_local: under the
+// fiber execution backend every image shares one OS thread).
+constexpr char kF2FlagTag = 0;
+
+bool& f2_executed() {
+  std::shared_ptr<void>& slot = rt::Image::current().scratch(&kF2FlagTag);
+  if (!slot) {
+    slot = std::make_shared<bool>(false);
+  }
+  return *std::static_pointer_cast<bool>(slot);
+}
 
 void f2(std::vector<std::uint8_t> payload) {
-  tls_f2_executed = true;
+  f2_executed() = true;
   std::printf("  f2 executed on image %d at t=%.2f us (payload %zu B)\n",
-              tls_rank, now_us(), payload.size());
+              this_image(), now_us(), payload.size());
 }
 
 void f1(std::int32_t r) {
@@ -33,7 +43,6 @@ void f1(std::int32_t r) {
 
 void spmd_main() {
   Team world = team_world();
-  tls_rank = world.rank();
   const int p = 0;
   const int q = 1;
   const int r = 2;
@@ -45,7 +54,7 @@ void spmd_main() {
     f1_done.wait();  // f1 completed on q... but f2 is still in flight to r
   }
   team_barrier(world);
-  const bool f2_seen_at_barrier = tls_f2_executed;
+  const bool f2_seen_at_barrier = f2_executed();
   if (world.rank() == r) {
     std::printf("image r after barrier:  f2 executed? %s   <- the barrier "
                 "missed the transitive spawn (paper Fig. 5)\n",
@@ -56,7 +65,7 @@ void spmd_main() {
   team_barrier(world);
   compute(50.0);
   team_barrier(world);
-  tls_f2_executed = false;
+  f2_executed() = false;
 
   // --- Attempt 2: finish (correct) ----------------------------------------
   finish(world, [&] {
@@ -67,7 +76,7 @@ void spmd_main() {
   if (world.rank() == r) {
     std::printf("image r after finish:   f2 executed? %s   <- finish counts "
                 "transitive spawns and waited for f2\n",
-                tls_f2_executed ? "yes" : "NO");
+                f2_executed() ? "yes" : "NO");
   }
   team_barrier(world);
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "core/caf2.hpp"
+#include "runtime/image.hpp"
 
 namespace {
 
@@ -35,19 +36,34 @@ struct Queues {
       : metadata(world, 1), items(world, kItems), stolen(world, kItems) {}
 };
 
-thread_local Queues* tls_queues = nullptr;
-thread_local bool tls_steal_done = false;
-thread_local std::int64_t tls_steal_amount = 0;
+/// Per-image example state (Image::scratch, not thread_local: under the
+/// fiber execution backend every image shares one OS thread, and steal_work
+/// must see the queues of the image it landed on).
+struct StealCtx {
+  Queues* queues = nullptr;
+  bool steal_done = false;
+  std::int64_t steal_amount = 0;
+};
+
+constexpr char kStealTag = 0;
+
+StealCtx& ctx() {
+  std::shared_ptr<void>& slot = rt::Image::current().scratch(&kStealTag);
+  if (!slot) {
+    slot = std::make_shared<StealCtx>();
+  }
+  return *std::static_pointer_cast<StealCtx>(slot);
+}
 
 /// Fig. 3's provide_work: runs back on the thief.
 void provide_work(std::int64_t amount) {
-  tls_steal_done = true;
-  tls_steal_amount = amount;
+  ctx().steal_done = true;
+  ctx().steal_amount = amount;
 }
 
 /// Fig. 3's steal_work: the entire steal protocol, local to the victim.
 void steal_work(std::int32_t thief) {
-  Queues& q = *tls_queues;
+  Queues& q = *ctx().queues;
   Meta& meta = q.metadata.local()[0];
   if (meta.available > 0) {  // work_available + reserve_work, all local
     const std::int64_t grab = meta.available / 2 + 1;
@@ -61,7 +77,7 @@ void steal_work(std::int32_t thief) {
 
 double steal_with_function_shipping(const Team& world, int victim) {
   const double t0 = now_us();
-  tls_steal_done = false;
+  ctx().steal_done = false;
   // finish is collective: every image opens the block, image 0 steals.
   finish(world, [&] {
     if (world.rank() == 0) {
@@ -114,7 +130,7 @@ double steal_with_gets_and_puts(const Team& world, Queues& q, int victim) {
 void spmd_main() {
   Team world = team_world();
   Queues queues(world);
-  tls_queues = &queues;
+  ctx().queues = &queues;
   queues.metadata[0].available = world.rank() == 1 ? kItems : 0;
   team_barrier(world);
 
@@ -130,10 +146,10 @@ void spmd_main() {
     std::printf("steal attempt, function shipping  : %7.2f virtual us "
                 "(2 one-way trips + finish, paper Fig. 3)\n", fs);
     std::printf("stolen via FS: %lld items\n",
-                static_cast<long long>(tls_steal_amount));
+                static_cast<long long>(ctx().steal_amount));
   }
   team_barrier(world);
-  tls_queues = nullptr;
+  ctx().queues = nullptr;
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include "core/detectors.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/runtime.hpp"
+#include "support/sysinfo.hpp"
 
 namespace caf2 {
 
@@ -22,7 +23,10 @@ RunStats run_stats(const RuntimeOptions& options,
   RunStats stats;
   stats.events = runtime.engine().event_count();
   stats.virtual_us = runtime.engine().now();
+  stats.context_switches = runtime.engine().context_switch_count();
   stats.fastpath = runtime.engine().fastpath_enabled();
+  stats.backend = runtime.engine().backend();
+  stats.peak_rss_bytes = peak_rss_bytes();
   stats.faults = runtime.network().fault_stats();
   return stats;
 }

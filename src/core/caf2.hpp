@@ -43,10 +43,20 @@ void run(const RuntimeOptions& options, const std::function<void()>& body);
 
 /// Simulator-side statistics of one completed run (real cost of the
 /// simulation, as opposed to the virtual-time results the run computed).
+///
+/// events, virtual_us, context_switches, and faults are deterministic: for a
+/// given options + body they are bit-identical across execution backends and
+/// with the scheduler fast path on or off. backend and fastpath describe the
+/// configuration that ran; peak_rss_bytes is a *measured* property of the
+/// host process (monotone high-water mark, not deterministic) — determinism
+/// comparisons must exclude those.
 struct RunStats {
   std::uint64_t events = 0;  ///< engine events dispatched
   double virtual_us = 0.0;   ///< final virtual time
+  std::uint64_t context_switches = 0;  ///< token handoffs between images
   bool fastpath = true;      ///< self-wake fast path was active
+  ExecBackend backend = ExecBackend::kAuto;  ///< resolved backend that ran
+  std::uint64_t peak_rss_bytes = 0;  ///< process peak RSS after the run
   FaultStats faults{};       ///< injected-fault / retransmission counters
 };
 

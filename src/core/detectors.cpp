@@ -84,8 +84,10 @@ enum class DetectorMsg : std::uint8_t {
 };
 
 /// Owner-side per-round collection state and member-side verdict state,
-/// keyed by finish scope. Handlers run on the owning image's thread, so
-/// thread-local storage gives per-image state without plumbing.
+/// keyed by finish scope. Handlers always execute on the destination image's
+/// context, so this lives in per-image scratch storage (Image::scratch) —
+/// NOT thread_local, which would be shared by every image under the fiber
+/// execution backend.
 struct CentralScope {
   // owner side
   std::unordered_map<std::int64_t, int> arrived;
@@ -96,7 +98,17 @@ struct CentralScope {
   bool verdict_done = false;
 };
 
-thread_local std::unordered_map<net::FinishKey, CentralScope> tls_central;
+using CentralMap = std::unordered_map<net::FinishKey, CentralScope>;
+
+constexpr char kCentralTag = 0;  // tag address for Image::scratch
+
+CentralMap& central_map(Image& image) {
+  std::shared_ptr<void>& slot = image.scratch(&kCentralTag);
+  if (!slot) {
+    slot = std::make_shared<CentralMap>();
+  }
+  return *std::static_pointer_cast<CentralMap>(slot);
+}
 
 void owner_absorb(Image& image, const Team& team, const net::FinishKey& key,
                   std::int64_t round, int from_team_rank,
@@ -119,7 +131,7 @@ void send_verdict(Image& image, const Team& team, const net::FinishKey& key,
     image.runtime().network().send(std::move(message));
   }
   // Owner applies its own verdict directly.
-  CentralScope& scope = tls_central[key];
+  CentralScope& scope = central_map(image)[key];
   scope.verdict_round = round;
   scope.verdict_done = done;
 }
@@ -157,7 +169,7 @@ void owner_absorb(Image& image, const Team& team, const net::FinishKey& key,
                   std::int64_t round, int from_team_rank,
                   const std::vector<std::int64_t>& sent_to,
                   std::int64_t completed_local) {
-  CentralScope& scope = tls_central[key];
+  CentralScope& scope = central_map(image)[key];
   auto& sums = scope.sent_sums[round];
   auto& completed = scope.completed_by[round];
   const auto images = static_cast<std::size_t>(image.num_images());
@@ -202,11 +214,16 @@ int detect_centralized(rt::Image& image, const Team& team,
                    "centralized quiescence");
     send_vector(image, team, key, round);
     ++rounds;
-    CentralScope& scope = tls_central[key];
-    image.wait_for([&scope, round] { return scope.verdict_round >= round; },
-                   "centralized verdict");
-    if (scope.verdict_done) {
-      tls_central.erase(key);
+    // Re-resolve the scope each wave: handlers may rehash the map while we
+    // are blocked, and the entry may not exist yet on the first pass.
+    image.wait_for(
+        [&image, key, round] {
+          CentralScope& scope = central_map(image)[key];
+          return scope.verdict_round >= round;
+        },
+        "centralized verdict");
+    if (central_map(image)[key].verdict_done) {
+      central_map(image).erase(key);
       return rounds;
     }
   }
@@ -231,7 +248,7 @@ void install_detector_handlers(rt::Runtime& runtime) {
                        sent_to, completed);
         } else {
           const auto done = archive.read<std::uint8_t>() != 0;
-          CentralScope& scope = tls_central[key];
+          CentralScope& scope = central_map(image)[key];
           scope.verdict_round = round;
           scope.verdict_done = done;
           image.runtime().engine().unblock(image.rank());

@@ -8,7 +8,17 @@ namespace caf2 {
 
 namespace {
 
-thread_local FinishReport tls_last_report;
+// Per-image, not thread_local: under the fiber execution backend every image
+// of an engine runs on the same OS thread (Image::scratch).
+constexpr char kReportTag = 0;
+
+FinishReport& last_report(rt::Image& image) {
+  std::shared_ptr<void>& slot = image.scratch(&kReportTag);
+  if (!slot) {
+    slot = std::make_shared<FinishReport>();
+  }
+  return *std::static_pointer_cast<FinishReport>(slot);
+}
 
 net::FinishKey begin_finish(rt::Image& image, const Team& team) {
   CAF2_REQUIRE(team.valid(), "finish over an invalid team");
@@ -49,8 +59,9 @@ void end_finish(rt::Image& image, const Team& team, const net::FinishKey& key,
   // flight anywhere, so the accounting can be reclaimed.
   image.erase_finish_state(key);
 
-  tls_last_report.rounds = rounds;
-  tls_last_report.detect_us = image.runtime().engine().now() - start_us;
+  FinishReport& report = last_report(image);
+  report.rounds = rounds;
+  report.detect_us = image.runtime().engine().now() - start_us;
 }
 
 }  // namespace
@@ -68,7 +79,9 @@ void finish(const Team& team, const std::function<void()>& body,
   end_finish(image, team, key, options);
 }
 
-FinishReport last_finish_report() { return tls_last_report; }
+FinishReport last_finish_report() {
+  return last_report(rt::Image::current());
+}
 
 FinishScope::FinishScope(const Team& team, FinishOptions options)
     : team_(team), options_(options) {

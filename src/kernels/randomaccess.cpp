@@ -14,18 +14,26 @@ struct RaState {
   double update_cost_us = 0.0;
 };
 
-thread_local RaState* tls_ra = nullptr;
+// Per-image state pointer (Image::scratch, non-owning: the state lives on
+// ra_run_function_shipping's frame). Not thread_local — under the fiber
+// execution backend every image shares one OS thread, and a shipped update
+// must count on the image it landed on.
+constexpr char kRaTag = 0;
+
+RaState* ra_state() {
+  return static_cast<RaState*>(rt::Image::current().scratch(&kRaTag).get());
+}
 
 /// Shipped: apply one read-modify-write on the owning image. Runs on the
-/// owner's thread, so it is atomic by construction (the paper's point about
+/// owner's context, so it is atomic by construction (the paper's point about
 /// the function-shipping variant).
 void ra_update(Coref<std::uint64_t> table, std::uint64_t offset,
                std::uint64_t value) {
   table.local()[offset] ^= value;
-  if (tls_ra != nullptr) {
-    tls_ra->applied += 1;
-    if (tls_ra->update_cost_us > 0.0) {
-      compute(tls_ra->update_cost_us);
+  if (RaState* state = ra_state(); state != nullptr) {
+    state->applied += 1;
+    if (state->update_cost_us > 0.0) {
+      compute(state->update_cost_us);
     }
   }
 }
@@ -66,7 +74,8 @@ RaStats ra_run_function_shipping(const Team& team, const RaConfig& config) {
 
   RaState state;
   state.update_cost_us = config.update_cost_us;
-  tls_ra = &state;
+  rt::Image::current().scratch(&kRaTag) =
+      std::shared_ptr<void>(&state, [](void*) {});
 
   Coarray<std::uint64_t> table(team, local);
   init_table(table, team);
@@ -108,7 +117,7 @@ RaStats ra_run_function_shipping(const Team& team, const RaConfig& config) {
   stats.applied = state.applied;
   stats.checksum = table_checksum(table.local());
   team_barrier(team);
-  tls_ra = nullptr;
+  rt::Image::current().scratch(&kRaTag).reset();
   return stats;
 }
 

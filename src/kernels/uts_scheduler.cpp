@@ -34,11 +34,16 @@ struct UtsState {
   }
 };
 
-thread_local UtsState* tls_uts = nullptr;
+// Per-image scheduler-state pointer (Image::scratch, non-owning: the state
+// lives on uts_run's frame). Not thread_local — under the fiber execution
+// backend every image shares one OS thread, and shipped functions must see
+// the state of the image they landed on.
+constexpr char kUtsTag = 0;
 
 UtsState& uts() {
-  CAF2_ASSERT(tls_uts != nullptr, "UTS shipped function outside uts_run");
-  return *tls_uts;
+  std::shared_ptr<void>& slot = rt::Image::current().scratch(&kUtsTag);
+  CAF2_ASSERT(slot != nullptr, "UTS shipped function outside uts_run");
+  return *static_cast<UtsState*>(slot.get());
 }
 
 std::vector<UtsNode> take_front(std::deque<UtsNode>& queue, int n) {
@@ -206,7 +211,8 @@ UtsStats uts_run(const Team& team, const UtsConfig& config) {
   UtsState state;
   state.config = config;
   state.team = team;
-  tls_uts = &state;
+  rt::Image::current().scratch(&kUtsTag) =
+      std::shared_ptr<void>(&state, [](void*) {});
 
   // Entry barrier: no image may start distributing/stealing until every
   // member has installed its scheduler state (messages can land on an image
@@ -265,7 +271,7 @@ UtsStats uts_run(const Team& team, const UtsConfig& config) {
   state.stats.elapsed_us = now_us() - t0;
   state.stats.total_nodes = allreduce<std::uint64_t>(
       team, state.stats.nodes, RedOp::kSum);
-  tls_uts = nullptr;
+  rt::Image::current().scratch(&kUtsTag).reset();
   return state.stats;
 }
 

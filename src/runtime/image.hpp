@@ -112,6 +112,18 @@ class Image {
   bool has_finish_state(const net::FinishKey& key) const;
   void erase_finish_state(const net::FinishKey& key);
 
+  /// --- per-image extension state -------------------------------------------
+
+  /// Type-erased per-image storage for higher layers (e.g. the centralized
+  /// termination detector's owner/member bookkeeping, the last finish
+  /// report). Layers used to keep such state in `thread_local` variables,
+  /// which silently assumed one OS thread per image — false under the fiber
+  /// execution backend, where every image of an engine shares the scheduler
+  /// thread. \p tag is an arbitrary unique address (take the address of a
+  /// file-local object); the slot is created empty on first use and lives as
+  /// long as the image.
+  std::shared_ptr<void>& scratch(const void* tag) { return scratch_[tag]; }
+
   /// --- message send helpers ------------------------------------------------
 
   /// Build a header for a message from this image. When \p tracking is
@@ -206,6 +218,9 @@ class Image {
   // coarrays
   std::unordered_map<int, std::uint64_t> coarray_seqs_;
   std::unordered_map<std::uint64_t, BlockInfo> blocks_;
+
+  // per-image extension state (see scratch())
+  std::unordered_map<const void*, std::shared_ptr<void>> scratch_;
 
   // teams
   std::unordered_map<int, std::shared_ptr<const TeamData>> teams_;

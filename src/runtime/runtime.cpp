@@ -8,8 +8,25 @@
 namespace caf2::rt {
 
 namespace {
-thread_local Image* tls_image = nullptr;
-thread_local Runtime* tls_runtime = nullptr;
+// The current image/runtime live in engine context slots, not raw
+// thread_locals: with the fiber backend many images share one OS thread and
+// the engine swaps slot contents on every fiber switch (sim/engine.hpp,
+// ExecContext). Slot 0: Image*, slot 1: Runtime*.
+constexpr int kImageSlot = 0;
+constexpr int kRuntimeSlot = 1;
+
+Image* current_image_slot() {
+  return static_cast<Image*>(sim::Engine::context_slot(kImageSlot));
+}
+
+Runtime* current_runtime_slot() {
+  return static_cast<Runtime*>(sim::Engine::context_slot(kRuntimeSlot));
+}
+
+void set_current(Image* image, Runtime* runtime) {
+  sim::Engine::context_slot(kImageSlot) = image;
+  sim::Engine::context_slot(kRuntimeSlot) = runtime;
+}
 
 /// Exit rendezvous: images leave the SPMD body collectively so that no image
 /// tears down while teammates still expect its participation. Implemented as
@@ -21,17 +38,19 @@ struct ExitGate {
 }  // namespace
 
 Image& Image::current() {
-  CAF2_REQUIRE(tls_image != nullptr,
-               "no current image: this call must run on an image thread");
-  return *tls_image;
+  Image* image = current_image_slot();
+  CAF2_REQUIRE(image != nullptr,
+               "no current image: this call must run on an image context");
+  return *image;
 }
 
-bool Image::has_current() { return tls_image != nullptr; }
+bool Image::has_current() { return current_image_slot() != nullptr; }
 
 Runtime& Runtime::current() {
-  CAF2_REQUIRE(tls_runtime != nullptr,
-               "no current runtime: this call must run on an image thread");
-  return *tls_runtime;
+  Runtime* runtime = current_runtime_slot();
+  CAF2_REQUIRE(runtime != nullptr,
+               "no current runtime: this call must run on an image context");
+  return *runtime;
 }
 
 Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
@@ -41,6 +60,7 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   engine_options.max_events = options_.max_events;
   engine_options.label = options_.label;
   engine_options.enable_fastpath = options_.sim_fastpath;
+  engine_options.backend = options_.sim_backend;
   engine_options.watchdog_quiet_us = options_.watchdog_quiet_us;
   engine_ = std::make_unique<sim::Engine>(options_.num_images,
                                           std::move(engine_options));
@@ -76,14 +96,13 @@ void Runtime::run(const std::function<void()>& body) {
   gate->expected = num_images();
 
   engine_->run([this, &body, gate](int id) {
-    tls_image = images_[static_cast<std::size_t>(id)].get();
-    tls_runtime = this;
+    Image* image = images_[static_cast<std::size_t>(id)].get();
+    set_current(image, this);
     try {
       body();
       // Collective exit: wait until every image finished its body so that
       // in-flight messages (e.g. steals landing on an already-done image)
       // still find a live progress engine.
-      Image& self = *tls_image;
       gate->arrived += 1;
       if (gate->arrived == gate->expected) {
         for (int rank = 0; rank < num_images(); ++rank) {
@@ -92,25 +111,21 @@ void Runtime::run(const std::function<void()>& body) {
           }
         }
       } else {
-        self.wait_for([&] { return gate->arrived == gate->expected; },
-                      "exit rendezvous");
+        image->wait_for([&] { return gate->arrived == gate->expected; },
+                        "exit rendezvous");
       }
-      tls_image = nullptr;
-      tls_runtime = nullptr;
+      set_current(nullptr, nullptr);
     } catch (const UsageError& e) {
       // Tag escaping exceptions with the faulting image's rank. Usage errors
       // keep their type (callers assert on it); everything else is a runtime
       // fault.
-      tls_image = nullptr;
-      tls_runtime = nullptr;
+      set_current(nullptr, nullptr);
       throw UsageError("image " + std::to_string(id) + ": " + e.what());
     } catch (const std::exception& e) {
-      tls_image = nullptr;
-      tls_runtime = nullptr;
+      set_current(nullptr, nullptr);
       throw FatalError("image " + std::to_string(id) + ": " + e.what());
     } catch (...) {
-      tls_image = nullptr;
-      tls_runtime = nullptr;
+      set_current(nullptr, nullptr);
       throw FatalError("image " + std::to_string(id) +
                        ": unknown exception escaped the image body");
     }

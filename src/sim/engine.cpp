@@ -2,20 +2,27 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 namespace caf2::sim {
 
 namespace {
-struct TlsContext {
-  Engine* engine = nullptr;
-  int id = -1;
-};
-thread_local TlsContext tls_context;
+/// The calling context's identity. Participant threads own theirs for the
+/// whole run; the fiber scheduler swaps it on every fiber switch (the
+/// suspended copy lives in Participant::context).
+thread_local ExecContext tls_context;
 }  // namespace
 
 Engine* Engine::current_engine() { return tls_context.engine; }
 int Engine::current_id() { return tls_context.id; }
+
+void*& Engine::context_slot(int index) {
+  CAF2_ASSERT(index >= 0 &&
+                  static_cast<std::size_t>(index) < tls_context.slots.size(),
+              "context_slot index out of range");
+  return tls_context.slots[static_cast<std::size_t>(index)];
+}
 
 Engine::Engine(int participants, EngineOptions options)
     : options_(std::move(options)) {
@@ -24,6 +31,21 @@ Engine::Engine(int participants, EngineOptions options)
   if (const char* env = std::getenv("CAF2_SIM_NO_FASTPATH");
       env != nullptr && *env != '\0' && *env != '0') {
     fastpath_ = false;
+  }
+  backend_ = options_.backend;
+  if (const char* env = std::getenv("CAF2_SIM_BACKEND");
+      env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "threads") == 0) {
+      backend_ = ExecBackend::kThreads;
+    } else if (std::strcmp(env, "fibers") == 0) {
+      backend_ = ExecBackend::kFibers;
+    }
+    // Unknown values fall through to whatever was configured.
+  }
+  if (backend_ == ExecBackend::kAuto) {
+    backend_ = fibers_supported() ? ExecBackend::kFibers : ExecBackend::kThreads;
+  } else if (backend_ == ExecBackend::kFibers && !fibers_supported()) {
+    backend_ = ExecBackend::kThreads;  // TSan builds: silent fallback
   }
   participants_.reserve(static_cast<std::size_t>(participants));
   for (int i = 0; i < participants; ++i) {
@@ -34,7 +56,8 @@ Engine::Engine(int participants, EngineOptions options)
 }
 
 Engine::~Engine() {
-  // run() joins all threads; nothing to do unless run() was never called.
+  // run() joins all threads / finishes all fibers; nothing to do unless
+  // run() was never called.
 }
 
 void Engine::record(TraceKind kind, int participant) {
@@ -54,10 +77,12 @@ void Engine::fail_locked(std::unique_lock<std::mutex>& lock,
   }
   failed_ = true;
   failure_reason_ = options_.label + ": " + why;
-  for (auto& participant : participants_) {
-    participant->cv.notify_all();
+  if (backend_ == ExecBackend::kThreads) {
+    for (auto& participant : participants_) {
+      participant->cv.notify_all();
+    }
+    done_cv_.notify_all();
   }
-  done_cv_.notify_all();
 }
 
 std::string Engine::stall_report_locked(const std::string& headline) const {
@@ -111,12 +136,12 @@ bool Engine::all_unfinished_blocked_locked() const {
 }
 
 void Engine::fail(const std::string& why) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  auto lock = lock_gate();
   fail_locked(lock, stall_report_locked(why));
 }
 
 void Engine::set_diagnostics(std::function<std::string()> fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  auto lock = lock_gate();
   diagnostics_ = std::move(fn);
 }
 
@@ -179,10 +204,47 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
       // without racing.
       InlineFn fn = std::move(call_pool_[event.call_slot]);
       free_slots_.push_back(event.call_slot);
-      lock.unlock();
-      fn();
+      std::exception_ptr error;
+      if (lock.mutex() != nullptr) {
+        lock.unlock();
+      }
+      try {
+        fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
       fn.reset();  // destroy the closure before retaking the lock
-      lock.lock();
+      if (lock.mutex() != nullptr) {
+        lock.lock();
+      }
+      if (error) {
+        // A throwing callback must not propagate through whoever happens to
+        // be dispatching (from run()'s chain it would escape with
+        // participant threads still live). Convert it into an engine
+        // failure, tagged with the dispatching context.
+        if (!first_error_) {
+          const std::string who =
+              dispatcher != nullptr
+                  ? "participant " + std::to_string(dispatcher->id)
+                  : std::string("the scheduler");
+          std::string what = "engine callback (dispatched from " + who + ")";
+          try {
+            std::rethrow_exception(error);
+          } catch (const std::exception& e) {
+            what += " raised: ";
+            what += e.what();
+          } catch (...) {
+            what += " raised a non-standard exception";
+          }
+          first_error_ = std::make_exception_ptr(
+              FatalError(options_.label + ": " + what));
+          fail_locked(lock, stall_report_locked(what));
+        } else {
+          fail_locked(lock, stall_report_locked(
+                                "engine callback raised an exception"));
+        }
+        return;
+      }
       continue;
     }
 
@@ -193,7 +255,16 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
     record(TraceKind::kWake, target.id);
     target.active = true;
     target.state = PState::kRunnable;
-    if (&target != dispatcher) {
+    if (target.id != token_owner_) {
+      // Counted only when the token moves between participants, so the
+      // value is a pure function of the dispatch order: identical across
+      // backends and with the fast path on or off (a fast-pathed self-wake
+      // is exactly a dispatch that keeps the token in place).
+      token_owner_ = target.id;
+      context_switches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    activated_ = &target;
+    if (backend_ == ExecBackend::kThreads && &target != dispatcher) {
       target.cv.notify_one();
     }
     return;
@@ -203,6 +274,21 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
 void Engine::switch_out(std::unique_lock<std::mutex>& lock,
                         Participant& self) {
   self.active = false;
+  if (backend_ == ExecBackend::kFibers) {
+    // Hand control back to the scheduler loop in run_fibers(), which
+    // dispatches the next event. If the run already failed, suspending would
+    // leave this fiber parked forever (the unwind pass resumes each live
+    // fiber exactly once) — throw immediately instead.
+    if (!failed_) {
+      Fiber::suspend();
+    }
+    if (failed_) {
+      throw FatalError(failure_reason_);
+    }
+    self.state = PState::kRunnable;
+    self.block_reason.clear();
+    return;
+  }
   dispatch_chain(lock, &self);
   while (!self.active && !failed_) {
     self.cv.wait(lock);
@@ -216,14 +302,14 @@ void Engine::switch_out(std::unique_lock<std::mutex>& lock,
 
 void Engine::advance(double dt) {
   CAF2_REQUIRE(tls_context.engine == this && tls_context.id >= 0,
-               "advance() must be called from a participant thread");
+               "advance() must be called from a participant context");
   CAF2_REQUIRE(dt >= 0.0, "advance() needs a non-negative duration");
   Participant& self = *participants_[tls_context.id];
   CAF2_ASSERT(self.active, "advance() caller does not hold the token");
 
   // Self-wake fast path: the caller holds the token, so every engine field
-  // below is owned by this thread until the token is handed off through the
-  // mutex (which publishes these plain writes). If the wake we are about to
+  // below is owned by this context until the token is handed off through the
+  // gate (which publishes these plain writes). If the wake we are about to
   // schedule — (target, next_seq_) — would be the very next event dispatched,
   // and the event budget permits dispatching it, skip the heap round-trip
   // and the switch_out() handoff entirely. Ties at `target` go to the heap
@@ -243,7 +329,7 @@ void Engine::advance(double dt) {
     return;
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  auto lock = lock_gate();
   record(TraceKind::kAdvance, self.id);
   const double target = now_us_.load(std::memory_order_relaxed) + dt;
   heap_.push(Event{target, next_seq_++, self.id, kNoSlot});
@@ -258,9 +344,9 @@ void Engine::advance(double dt) {
 
 void Engine::block(const char* reason) {
   CAF2_REQUIRE(tls_context.engine == this && tls_context.id >= 0,
-               "block() must be called from a participant thread");
+               "block() must be called from a participant context");
   Participant& self = *participants_[tls_context.id];
-  std::unique_lock<std::mutex> lock(mutex_);
+  auto lock = lock_gate();
   CAF2_ASSERT(self.active, "block() caller does not hold the token");
   record(TraceKind::kBlock, self.id);
   self.state = PState::kWaiting;
@@ -271,7 +357,7 @@ void Engine::block(const char* reason) {
 void Engine::unblock(int participant) {
   CAF2_REQUIRE(participant >= 0 && participant < size(),
                "unblock(): participant id out of range");
-  std::lock_guard<std::mutex> lock(mutex_);
+  auto lock = lock_gate();
   Participant& target = *participants_[participant];
   if (target.state == PState::kFinished || target.active) {
     return;
@@ -281,13 +367,13 @@ void Engine::unblock(int participant) {
 }
 
 std::uint64_t Engine::reserve_seq() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  auto lock = lock_gate();
   return next_seq_++;
 }
 
 void Engine::post_reserved(double at, std::uint64_t seq, InlineFn fn) {
   CAF2_REQUIRE(static_cast<bool>(fn), "post_reserved() needs a callable");
-  std::lock_guard<std::mutex> lock(mutex_);
+  auto lock = lock_gate();
   const double when =
       std::max(at, now_us_.load(std::memory_order_relaxed));
   const std::uint32_t slot = acquire_slot(std::move(fn));
@@ -296,7 +382,7 @@ void Engine::post_reserved(double at, std::uint64_t seq, InlineFn fn) {
 
 void Engine::post_call(double at, InlineFn fn) {
   CAF2_REQUIRE(static_cast<bool>(fn), "post() needs a callable");
-  std::lock_guard<std::mutex> lock(mutex_);
+  auto lock = lock_gate();
   const double when =
       std::max(at, now_us_.load(std::memory_order_relaxed));
   const std::uint32_t slot = acquire_slot(std::move(fn));
@@ -304,8 +390,7 @@ void Engine::post_call(double at, InlineFn fn) {
 }
 
 void Engine::participant_main(int id, const std::function<void(int)>& body) {
-  tls_context.engine = this;
-  tls_context.id = id;
+  tls_context = ExecContext{this, id, {}};
   Participant& self = *participants_[id];
 
   {
@@ -349,16 +434,93 @@ void Engine::participant_main(int id, const std::function<void(int)>& body) {
   tls_context = {};
 }
 
-void Engine::run(const std::function<void(int)>& body) {
-  CAF2_REQUIRE(!running_, "Engine::run() may only be called once");
-  running_ = true;
+void Engine::fiber_main(int id, const std::function<void(int)>& body) {
+  Participant& self = *participants_[id];
+  self.state = PState::kRunnable;
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& participant : participants_) {
-      heap_.push(Event{0.0, next_seq_++, participant->id, kNoSlot});
-    }
+  std::exception_ptr error;
+  try {
+    body(id);
+  } catch (...) {
+    error = std::current_exception();
   }
+
+  // Mirrors participant_main's epilogue; the scheduler loop in run_fibers()
+  // takes over dispatching as soon as this entry function returns.
+  auto lock = lock_gate();
+  self.state = PState::kFinished;
+  self.active = false;
+  ++finished_count_;
+  record(TraceKind::kFinish, id);
+  if (error) {
+    if (!first_error_) {
+      first_error_ = error;
+    }
+    fail_locked(lock, "participant raised an exception");
+  }
+}
+
+void Engine::resume_fiber(Participant& target) {
+  const ExecContext saved = tls_context;
+  tls_context = target.context;
+  target.fiber->resume();
+  target.context = tls_context;  // capture slot updates made by the fiber
+  tls_context = saved;
+}
+
+void Engine::unwind_live_fibers() {
+  for (auto& participant : participants_) {
+    if (participant->state == PState::kFinished) {
+      continue;
+    }
+    if (!participant->fiber->started()) {
+      // Never received the token: the thread backend's participant_main
+      // exits without running the body (and without a kFinish record).
+      participant->state = PState::kFinished;
+      participant->active = false;
+      ++finished_count_;
+      continue;
+    }
+    // The fiber is parked inside switch_out(); one resume lets it observe
+    // failed_, throw, and unwind its body. switch_out() refuses to suspend
+    // once failed_ is set, so this resume returns only when the fiber has
+    // finished.
+    resume_fiber(*participant);
+    CAF2_ASSERT(participant->fiber->finished(),
+                "fiber survived failure unwinding");
+  }
+}
+
+void Engine::run_fibers(const std::function<void(int)>& body) {
+  for (auto& participant : participants_) {
+    participant->context = ExecContext{this, participant->id, {}};
+    participant->fiber = std::make_unique<Fiber>(
+        options_.fiber_stack_bytes,
+        [this, id = participant->id, &body] { fiber_main(id, body); });
+  }
+
+  // The scheduler loop: dispatch until a participant is activated, switch
+  // onto its fiber, repeat when it suspends or finishes. Single-threaded by
+  // construction, so `gate` is an empty lock (see lock_gate()).
+  std::unique_lock<std::mutex> gate;
+  while (finished_count_ < size() && !failed_) {
+    dispatch_chain(gate, nullptr);
+    Participant* target = activated_;
+    activated_ = nullptr;
+    if (target == nullptr) {
+      break;  // failed, or everyone finished during the chain
+    }
+    resume_fiber(*target);
+  }
+  if (failed_) {
+    unwind_live_fibers();
+  }
+  for (auto& participant : participants_) {
+    participant->fiber.reset();
+  }
+}
+
+void Engine::run_threads(const std::function<void(int)>& body) {
   for (auto& participant : participants_) {
     participant->thread =
         std::thread([this, id = participant->id, &body] {
@@ -383,6 +545,23 @@ void Engine::run(const std::function<void(int)>& body) {
     if (participant->thread.joinable()) {
       participant->thread.join();
     }
+  }
+}
+
+void Engine::run(const std::function<void(int)>& body) {
+  CAF2_REQUIRE(!running_, "Engine::run() may only be called once");
+  running_ = true;
+
+  {
+    auto lock = lock_gate();
+    for (auto& participant : participants_) {
+      heap_.push(Event{0.0, next_seq_++, participant->id, kNoSlot});
+    }
+  }
+  if (backend_ == ExecBackend::kFibers) {
+    run_fibers(body);
+  } else {
+    run_threads(body);
   }
 
   if (first_error_) {

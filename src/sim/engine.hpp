@@ -4,11 +4,25 @@
 /// Deterministic discrete-event simulation engine.
 ///
 /// This is the substrate that substitutes for the paper's Cray XK6/XE6
-/// testbeds (DESIGN.md §1, §4.1). Each CAF process image runs as an OS
-/// thread, but the engine admits exactly **one runnable thread at a time**:
-/// a thread that blocks, advances its virtual clock, or finishes hands the
-/// token to whichever pending event is earliest in *virtual time* (ties
-/// broken by insertion sequence, so runs are fully deterministic).
+/// testbeds (DESIGN.md §1, §4.1). Each CAF process image runs as its own
+/// execution context, but the engine admits exactly **one runnable context
+/// at a time**: a participant that blocks, advances its virtual clock, or
+/// finishes hands the token to whichever pending event is earliest in
+/// *virtual time* (ties broken by insertion sequence, so runs are fully
+/// deterministic).
+///
+/// Two execution backends implement that contract (DESIGN.md §4.8):
+///  - ExecBackend::kThreads — one OS thread per participant; the token
+///    handoff is a mutex + per-participant condition variable. This is the
+///    backend ThreadSanitizer can instrument.
+///  - ExecBackend::kFibers — one stackful fiber per participant, all
+///    multiplexed on the thread that called run(); the token handoff is a
+///    userspace register swap and the engine runs lock-free. This is what
+///    makes 1024-image (paper-scale) runs practical.
+/// Both backends execute participants in exactly the same order, so traces,
+/// event counts, and context-switch counts are bit-identical across them.
+/// EngineOptions::backend picks one; CAF2_SIM_BACKEND={threads,fibers}
+/// overrides it from the environment.
 ///
 /// Three event kinds live in the heap:
 ///  - Wake(p, t): hand the token to participant p at time t (created by
@@ -40,6 +54,7 @@
 /// the next pending event is suspiciously far in the virtual future (e.g. a
 /// runaway retransmission backoff chain).
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -52,11 +67,29 @@
 #include <thread>
 #include <vector>
 
+#include "sim/fiber.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/trace.hpp"
+#include "support/config.hpp"
 #include "support/error.hpp"
 
 namespace caf2::sim {
+
+class Engine;
+
+/// Everything that makes the calling context "participant N of engine E".
+/// With the thread backend each participant thread simply owns one of these
+/// in thread-local storage; with the fiber backend the scheduler swaps the
+/// thread-local instance on every fiber switch, so code above the engine
+/// (e.g. the runtime's current-image pointer, stored in a slot) never needs
+/// to know which backend is running it.
+struct ExecContext {
+  Engine* engine = nullptr;
+  int id = -1;
+  /// Backend-agnostic replacement for participant-local `thread_local`
+  /// variables in higher layers. Slot 0: rt::Image*, slot 1: rt::Runtime*.
+  std::array<void*, 2> slots{};
+};
 
 /// Engine knobs (a subset of caf2::RuntimeOptions relevant to scheduling).
 struct EngineOptions {
@@ -77,6 +110,17 @@ struct EngineOptions {
   /// Participants that are merely advancing their clocks (modeled compute)
   /// hold a scheduled wake and never trip the watchdog.
   double watchdog_quiet_us = 0.0;
+
+  /// Execution backend (see the file comment). kAuto resolves to fibers
+  /// wherever fibers_supported(), else threads; an explicit kFibers also
+  /// falls back to threads when unsupported (ThreadSanitizer builds). The
+  /// environment variable CAF2_SIM_BACKEND={threads,fibers} overrides this.
+  ExecBackend backend = ExecBackend::kAuto;
+
+  /// Usable stack bytes per participant fiber (rounded up to whole pages; a
+  /// PROT_NONE guard page is added below). Virtual memory only — resident
+  /// cost is the pages a participant actually touches.
+  std::size_t fiber_stack_bytes = std::size_t{1} << 20;
 };
 
 class Engine {
@@ -97,11 +141,16 @@ class Engine {
 
   /// --- calls valid only on a participant thread ---------------------------
 
-  /// Engine owning the calling participant thread (nullptr elsewhere).
+  /// Engine owning the calling participant context (nullptr elsewhere).
   static Engine* current_engine();
 
-  /// Participant id of the calling thread (-1 elsewhere).
+  /// Participant id of the calling context (-1 elsewhere).
   static int current_id();
+
+  /// Participant-local storage slot of the calling execution context (see
+  /// ExecContext::slots). Higher layers use these instead of `thread_local`
+  /// so their per-image state follows the participant across fiber switches.
+  static void*& context_slot(int index);
 
   /// Current virtual time in microseconds.
   double now() const { return now_us_.load(std::memory_order_relaxed); }
@@ -172,6 +221,17 @@ class Engine {
   /// True when the self-wake fast path is active (options + environment).
   bool fastpath_enabled() const { return fastpath_; }
 
+  /// The resolved execution backend (options + environment + build support);
+  /// never kAuto.
+  ExecBackend backend() const { return backend_; }
+
+  /// Token handoffs between *different* participants dispatched so far. A
+  /// pure function of the dispatch order, so bit-identical across backends
+  /// and with the fast path on or off — the determinism suite compares it.
+  std::uint64_t context_switch_count() const {
+    return context_switches_.load(std::memory_order_relaxed);
+  }
+
   /// Recorded trace (empty unless EngineOptions::record_trace).
   const std::vector<TraceEntry>& trace() const { return trace_; }
 
@@ -182,9 +242,13 @@ class Engine {
     int id = -1;
     PState state = PState::kIdle;
     bool active = false;  ///< holds (or is about to receive) the token
+    std::string block_reason;
+    // Thread backend only:
     std::condition_variable cv;
     std::thread thread;
-    std::string block_reason;
+    // Fiber backend only:
+    std::unique_ptr<Fiber> fiber;
+    ExecContext context;  ///< saved while the fiber is suspended
   };
 
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
@@ -209,18 +273,48 @@ class Engine {
 
   friend struct CurrentParticipantGuard;
 
+  /// Acquire the engine lock — in thread mode. The fiber backend runs every
+  /// participant, callback, and the scheduler on one OS thread, so it skips
+  /// the mutex entirely: lock_gate() then returns an empty unique_lock (no
+  /// associated mutex), and the lock/unlock sites test lock.mutex() first.
+  std::unique_lock<std::mutex> lock_gate() {
+    return backend_ == ExecBackend::kThreads
+               ? std::unique_lock<std::mutex>(mutex_)
+               : std::unique_lock<std::mutex>();
+  }
+
+  void run_threads(const std::function<void(int)>& body);
+  void run_fibers(const std::function<void(int)>& body);
+
   void participant_main(int id, const std::function<void(int)>& body);
 
-  /// Relinquish the token. Must be called with mutex_ held by a participant
-  /// that currently has it. Dispatches events until another participant is
-  /// activated (possibly the caller), then waits until re-activated.
+  /// Fiber-backend participant body (entry function of the fiber).
+  void fiber_main(int id, const std::function<void(int)>& body);
+
+  /// Switch onto a participant's fiber, installing its ExecContext for the
+  /// duration and saving it back (with any slot changes) on return.
+  void resume_fiber(Participant& target);
+
+  /// After a failure in fiber mode: resume every live fiber once so its
+  /// pending engine call observes failed_ and throws, unwinding the body.
+  /// Runs in rank order (deterministic); never-started fibers are retired
+  /// directly, matching the thread backend's early-exit path.
+  void unwind_live_fibers();
+
+  /// Relinquish the token. Must be called with the gate held by a
+  /// participant that currently has it. Thread mode: dispatches events until
+  /// another participant is activated (possibly the caller), then waits
+  /// until re-activated. Fiber mode: suspends back to the scheduler loop,
+  /// which dispatches. Throws FatalError if the run failed meanwhile.
   void switch_out(std::unique_lock<std::mutex>& lock, Participant& self);
 
   /// Pop and dispatch events until a participant is activated or the heap
-  /// drains. Returns with mutex_ held. \p dispatcher is the participant
-  /// running this chain (nullptr when dispatching from run() or a finishing
-  /// participant); activating the dispatcher itself skips the condition-
-  /// variable notify, since the dispatcher observes `active` directly.
+  /// drains. Returns with the gate held; the activated participant (if any)
+  /// is left in activated_. \p dispatcher is the participant running this
+  /// chain (nullptr when dispatching from run() or a finishing participant);
+  /// activating the dispatcher itself skips the condition-variable notify,
+  /// since the dispatcher observes `active` directly. A callback that throws
+  /// fails the run with a dispatcher-tagged error instead of propagating.
   void dispatch_chain(std::unique_lock<std::mutex>& lock,
                       Participant* dispatcher);
 
@@ -249,6 +343,7 @@ class Engine {
   std::vector<std::unique_ptr<Participant>> participants_;
   EngineOptions options_;
   bool fastpath_ = true;
+  ExecBackend backend_ = ExecBackend::kThreads;  ///< resolved, never kAuto
   std::function<std::string()> diagnostics_;
 
   // now_us_ and dispatched_ are atomics so now()/event_count() stay callable
@@ -257,7 +352,10 @@ class Engine {
   // ordering suffices — cross-thread publication rides the mutex handoff.
   std::atomic<double> now_us_{0.0};
   std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> context_switches_{0};
   std::uint64_t next_seq_ = 0;
+  int token_owner_ = -1;  ///< participant last handed the token
+  Participant* activated_ = nullptr;  ///< dispatch_chain -> fiber scheduler
   int finished_count_ = 0;
   bool failed_ = false;
   std::string failure_reason_;

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file sysinfo.hpp
+/// Process-level resource measurements used by the benchmark harness and
+/// RunStats. These are *measured* quantities of the real machine — unlike
+/// everything else the simulator reports they are not deterministic, and the
+/// determinism test suite must exclude them from bit-equality comparisons.
+
+#include <cstdint>
+
+namespace caf2 {
+
+/// Peak resident set size of the calling process in bytes (the kernel's
+/// high-water mark, so it is monotone across successive runs in the same
+/// process). Returns 0 where the platform offers no measurement.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace caf2

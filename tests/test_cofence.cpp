@@ -107,6 +107,7 @@ TEST(Cofence, DownwardAnyPassesEverything) {
       copy_async(std::span<int>(in), box(1));
       cofence(Pass::kAny, Pass::kNone);
       EXPECT_EQ(now_us(), t0);  // nothing fenced
+      cofence();  // strict: stage both ops before out/in leave scope
     }
     team_barrier(world);
   });

@@ -229,12 +229,14 @@ TEST(Copy, PredicatedImplicitCopyHoldsFinishOpen) {
     CoEvent gate(world);
     box[0] = 0;
     team_barrier(world);
+    // Declared outside the finish block so the gated copy's source outlives
+    // the lambda frame; finish guarantees global completion before it dies.
+    // Plain local, not thread_local: images share one OS thread under the
+    // fiber backend.
+    const std::vector<int> payload{99};
     finish(world, [&] {
       if (world.rank() == 0) {
-        std::vector<int> payload{99};
-        static thread_local std::vector<int> stable_payload;
-        stable_payload = payload;  // outlive the lambda frame
-        copy_async(box(1), std::span<const int>(stable_payload),
+        copy_async(box(1), std::span<const int>(payload),
                    {.pre = gate(0)});
       }
       if (world.rank() == 1) {

@@ -1,15 +1,23 @@
-/// Determinism regression tests for the scheduler fast path (DESIGN.md §4.6).
+/// Determinism regression tests for the scheduler fast path (DESIGN.md §4.6)
+/// and the execution backends (DESIGN.md §4.8).
 ///
-/// The self-wake fast path and the pooled Call-event storage are pure
-/// performance transformations: the engine must produce *bit-identical*
-/// results with them enabled, disabled via EngineOptions, or disabled via
-/// the CAF2_SIM_NO_FASTPATH environment variable. These tests pin that down
-/// at both layers:
-///  - engine level: recorded traces (every scheduler decision) must match
-///    entry for entry between fast path on and off;
+/// The self-wake fast path, the pooled Call-event storage, and the fiber
+/// execution backend are pure performance transformations: the engine must
+/// produce *bit-identical* results with them enabled, disabled via
+/// EngineOptions, or disabled via the CAF2_SIM_NO_FASTPATH /
+/// CAF2_SIM_BACKEND environment variables. These tests pin that down at
+/// both layers:
+///  - engine level: recorded traces (every scheduler decision) and context
+///    switch counts must match entry for entry between fast path on and
+///    off, and between the thread and fiber backends;
 ///  - runtime level: a seeded RandomAccess workload over the jittered
 ///    Gemini-class network must dispatch the same number of events, end at
-///    the same virtual time, and compute the same kernel timings.
+///    the same virtual time, and compute the same kernel timings on every
+///    backend x fastpath combination — with and without injected faults.
+///
+/// Deterministic RunStats fields (events, virtual_us, context_switches,
+/// faults) are compared bit-for-bit; backend/fastpath/peak_rss_bytes
+/// describe the configuration or the host and are deliberately excluded.
 
 #include <gtest/gtest.h>
 
@@ -48,15 +56,28 @@ void mixed_body(int id) {
   }
 }
 
-std::string traced_run(bool enable_fastpath) {
+struct EngineResult {
+  std::string trace;
+  std::uint64_t context_switches = 0;
+  std::uint64_t events = 0;
+};
+
+EngineResult traced_engine_run(bool enable_fastpath,
+                               caf2::ExecBackend backend) {
   EngineOptions options;
   options.record_trace = true;
   options.enable_fastpath = enable_fastpath;
+  options.backend = backend;
   Engine engine(4, options);
   engine.run(mixed_body);
   EXPECT_EQ(engine.fastpath_enabled(), enable_fastpath);
   EXPECT_GT(engine.trace().size(), 100u);
-  return render_trace(engine.trace());
+  return {render_trace(engine.trace()), engine.context_switch_count(),
+          engine.event_count()};
+}
+
+std::string traced_run(bool enable_fastpath) {
+  return traced_engine_run(enable_fastpath, caf2::ExecBackend::kAuto).trace;
 }
 
 TEST(Determinism, EngineTraceIdenticalAcrossRepeats) {
@@ -80,6 +101,41 @@ TEST(Determinism, EnvVarForcesSlowPathWithIdenticalTrace) {
   EXPECT_EQ(render_trace(engine.trace()), baseline);
 }
 
+/// --- thread backend vs fiber backend (DESIGN.md §4.8) -----------------------
+///
+/// The backends must make exactly the same scheduling decisions: recorded
+/// traces, event counts, and context-switch counts are compared bit-for-bit
+/// on every fastpath setting. Skipped where the fiber backend is unavailable
+/// (e.g. under ThreadSanitizer, which cannot instrument fiber switches).
+
+TEST(Determinism, EngineTraceIdenticalThreadsVsFibers) {
+  if (!fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build";
+  }
+  for (const bool fastpath : {true, false}) {
+    const EngineResult threads =
+        traced_engine_run(fastpath, caf2::ExecBackend::kThreads);
+    const EngineResult fibers =
+        traced_engine_run(fastpath, caf2::ExecBackend::kFibers);
+    EXPECT_EQ(threads.trace, fibers.trace) << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.events, fibers.events) << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.context_switches, fibers.context_switches)
+        << "fastpath=" << fastpath;
+  }
+}
+
+TEST(Determinism, ContextSwitchCountInvariantUnderFastPath) {
+  // context_switches counts token handoffs (dispatches that move the token
+  // to a different participant), which is a pure function of the dispatch
+  // order — so it must not change when the fast path elides heap traffic.
+  const EngineResult fast =
+      traced_engine_run(true, caf2::ExecBackend::kAuto);
+  const EngineResult slow =
+      traced_engine_run(false, caf2::ExecBackend::kAuto);
+  EXPECT_GT(fast.context_switches, 0u);
+  EXPECT_EQ(fast.context_switches, slow.context_switches);
+}
+
 /// One full-stack seeded run: RandomAccess with function shipping on the
 /// jittered Gemini-class interconnect, returning simulator statistics plus
 /// the kernel's own virtual-time measurement.
@@ -94,12 +150,14 @@ struct StackResult {
   }
 };
 
-StackResult stack_run(bool fastpath) {
+StackResult stack_run(bool fastpath,
+                      caf2::ExecBackend backend = caf2::ExecBackend::kAuto) {
   caf2::RuntimeOptions options;
   options.num_images = 4;
   options.net = caf2::NetworkParams::gemini_like();
   options.seed = 20130520;
   options.sim_fastpath = fastpath;
+  options.sim_backend = backend;
   StackResult result;
   result.stats = caf2::run_stats(options, [&] {
     caf2::kernels::RaConfig config;
@@ -133,6 +191,29 @@ TEST(Determinism, RuntimeWorkloadIdenticalFastPathOnAndOff) {
   EXPECT_EQ(fast.elapsed_us, slow.elapsed_us);
 }
 
+TEST(Determinism, RuntimeWorkloadIdenticalThreadsVsFibers) {
+  if (!fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build";
+  }
+  for (const bool fastpath : {true, false}) {
+    const StackResult threads =
+        stack_run(fastpath, caf2::ExecBackend::kThreads);
+    const StackResult fibers =
+        stack_run(fastpath, caf2::ExecBackend::kFibers);
+    EXPECT_EQ(threads.stats.backend, caf2::ExecBackend::kThreads);
+    EXPECT_EQ(fibers.stats.backend, caf2::ExecBackend::kFibers);
+    // Deterministic RunStats fields must be bit-identical across backends.
+    EXPECT_EQ(threads.stats.events, fibers.stats.events)
+        << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.stats.virtual_us, fibers.stats.virtual_us)
+        << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.stats.context_switches, fibers.stats.context_switches)
+        << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.elapsed_us, fibers.elapsed_us)
+        << "fastpath=" << fastpath;
+  }
+}
+
 /// --- determinism under injected faults (DESIGN.md §4.7) ---------------------
 ///
 /// Fault decisions come from a dedicated RNG stream, so a seeded run with an
@@ -146,7 +227,8 @@ struct FaultyResult {
   std::string trace;
 };
 
-FaultyResult faulty_traced_run(bool fastpath) {
+FaultyResult faulty_traced_run(
+    bool fastpath, caf2::ExecBackend backend = caf2::ExecBackend::kAuto) {
   caf2::RuntimeOptions options;
   options.num_images = 4;
   options.net = caf2::NetworkParams::gemini_like();
@@ -158,6 +240,7 @@ FaultyResult faulty_traced_run(bool fastpath) {
   options.net.faults.all.delay_max_us = 5.0;
   options.seed = 424242;
   options.sim_fastpath = fastpath;
+  options.sim_backend = backend;
   options.record_trace = true;
 
   caf2::rt::Runtime runtime(options);
@@ -183,6 +266,7 @@ FaultyResult faulty_traced_run(bool fastpath) {
   FaultyResult result;
   result.stats.events = runtime.engine().event_count();
   result.stats.virtual_us = runtime.engine().now();
+  result.stats.context_switches = runtime.engine().context_switch_count();
   result.stats.fastpath = runtime.engine().fastpath_enabled();
   result.stats.faults = runtime.network().fault_stats();
   result.trace = render_trace(runtime.engine().trace());
@@ -214,6 +298,37 @@ TEST(Determinism, FaultyRunTraceIdenticalFastPathOnAndOff) {
   EXPECT_EQ(fast.stats.faults.retransmits, slow.stats.faults.retransmits);
   EXPECT_EQ(fast.stats.faults.duplicates_suppressed,
             slow.stats.faults.duplicates_suppressed);
+}
+
+TEST(Determinism, FaultyRunTraceIdenticalThreadsVsFibers) {
+  if (!fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build";
+  }
+  for (const bool fastpath : {true, false}) {
+    const FaultyResult threads =
+        faulty_traced_run(fastpath, caf2::ExecBackend::kThreads);
+    const FaultyResult fibers =
+        faulty_traced_run(fastpath, caf2::ExecBackend::kFibers);
+    EXPECT_EQ(threads.trace, fibers.trace) << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.stats.events, fibers.stats.events)
+        << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.stats.virtual_us, fibers.stats.virtual_us)
+        << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.stats.context_switches, fibers.stats.context_switches)
+        << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.stats.faults.deliveries_dropped,
+              fibers.stats.faults.deliveries_dropped)
+        << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.stats.faults.deliveries_duplicated,
+              fibers.stats.faults.deliveries_duplicated)
+        << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.stats.faults.acks_dropped,
+              fibers.stats.faults.acks_dropped)
+        << "fastpath=" << fastpath;
+    EXPECT_EQ(threads.stats.faults.retransmits,
+              fibers.stats.faults.retransmits)
+        << "fastpath=" << fastpath;
+  }
 }
 
 }  // namespace

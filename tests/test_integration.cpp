@@ -99,7 +99,10 @@ TEST(Integration, EveryConstructInOneScenario) {
       }
       // Nested finish over the pair: swap cell[1] with the partner.
       finish(pairs, [&] {
-        static thread_local std::vector<long> mine;
+        // Local buffer per image (NOT static/thread_local: images share one
+        // OS thread under the fiber backend); cofence() below makes it
+        // reusable before scope exit.
+        std::vector<long> mine;
         mine.assign(1, 100L + world.rank());
         copy_async(cells.slice(pairs.world_rank(1 - pairs.rank()), 1, 1),
                    std::span<const long>(mine));

@@ -93,11 +93,14 @@ TEST(MemoryModel, FinishIsAFullSynchronizationPoint) {
     for (std::size_t i = 0; i < 4; ++i) {
       table[i] = -1;
     }
+    // Staging buffer declared outside the finish block so it outlives the
+    // copies (finish guarantees global completion). Plain local, NOT
+    // static/thread_local: images share one OS thread under the fiber
+    // backend, so a shared buffer would be clobbered by other images.
+    const std::vector<long> payload(1, world.rank() * 11L);
     team_barrier(world);
     finish(world, [&] {
       // Everyone writes slot `rank` of everyone else's block.
-      static thread_local std::vector<long> payload;
-      payload.assign(1, world.rank() * 11L);
       for (int t = 0; t < world.size(); ++t) {
         copy_async(table.slice(t, static_cast<std::uint64_t>(world.rank()), 1),
                    std::span<const long>(payload));
@@ -149,8 +152,10 @@ TEST(Determinism, IdenticalSeedsGiveIdenticalExecutions) {
       Coarray<long> counter(world, 1);
       counter[0] = 0;
       team_barrier(world);
+      // Plain local (not thread_local): images share one OS thread under
+      // the fiber backend; cofence() each round stages it before reuse.
+      const std::vector<long> payload{1};
       finish(world, [&] {
-        static thread_local std::vector<long> payload{1};
         for (int round = 0; round < 5; ++round) {
           copy_async(counter((world.rank() + round) % world.size())
                          .subslice(0, 1),
@@ -189,8 +194,9 @@ TEST(Determinism, UtsTotalsIndependentOfJitterSeed) {
       Coarray<long> counter(world, 1);
       counter[0] = 0;
       team_barrier(world);
+      // Outlives the finish block, which guarantees global completion.
+      const std::vector<long> one{1};
       finish(world, [&] {
-        static thread_local std::vector<long> one{1};
         copy_async(counter((world.rank() + 1) % world.size()).subslice(0, 1),
                    std::span<const long>(one));
       });

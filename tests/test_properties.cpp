@@ -54,7 +54,9 @@ void workload() {
   finish(world, [&] {
     spawn<relay>((this_image() + 1) % world.size(), std::int32_t{2},
                  counter.ref());
-    static thread_local std::vector<int> payload;
+    // Plain local (NOT static/thread_local: images share one OS thread under
+    // the fiber backend); cofence() below stages it before scope exit.
+    std::vector<int> payload;
     payload.assign(8, this_image());
     copy_async(ring((world.rank() + 1) % world.size()),
                std::span<const int>(payload));

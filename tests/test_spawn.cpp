@@ -24,6 +24,9 @@ RuntimeOptions spawn_options(int images) {
   return options;
 }
 
+// Under the fiber backend these are shared by every image (one OS thread);
+// that is fine here because each checkpoint has exactly one writing image,
+// read on that same image.
 thread_local long tls_sink = 0;
 thread_local std::string tls_text;
 thread_local std::vector<double> tls_vector;
@@ -182,8 +185,9 @@ void ship_with_cofence(Coref<int> scratch) {
   // Inside the shipped function the scope is fresh: nothing outstanding.
   EXPECT_EQ(outstanding_implicit_ops(), 0u);
   // Initiate an implicit copy from within the shipped function, then fence.
-  static thread_local std::vector<int> payload;
-  payload.assign(64, 5);
+  // Plain local (not static/thread_local: images share one OS thread under
+  // the fiber backend); the cofence below stages it before scope exit.
+  std::vector<int> payload(64, 5);
   const int next = (this_image() + 1) % num_images();
   copy_async(RemoteSlice<int>{scratch.coarray_id, next, 0, 64},
              std::span<const int>(payload));
@@ -198,12 +202,14 @@ TEST(Spawn, CofenceInsideShippedFunctionIsDynamicallyScoped) {
     Coarray<int> scratch(world, 64);
     tls_inner_cofence_ok = false;
     team_barrier(world);
+    // Rank 0's staging buffer; outside the finish block so it outlives the
+    // copy (finish guarantees completion). Not static/thread_local: images
+    // share one OS thread under the fiber backend.
+    const std::vector<int> big(64, 1);
     finish(world, [&] {
       if (world.rank() == 0) {
         // The spawner has its own outstanding implicit op; the cofence
         // inside the shipped function must not wait for it.
-        static thread_local std::vector<int> big;
-        big.assign(64, 1);
         copy_async(scratch(2), std::span<const int>(big));
         spawn<ship_with_cofence>(1, scratch.ref());
       }
