@@ -34,6 +34,9 @@
 #include <vector>
 
 #include "core/caf2.hpp"
+#include "obs/blame.hpp"
+#include "obs/export.hpp"
+#include "sim/engine.hpp"
 #include "support/bench_io.hpp"
 #include "support/table.hpp"
 
@@ -225,8 +228,73 @@ inline void emit_bench_json(const BenchArgs& args, const std::string& name,
                     std::to_string(resolve_jobs(args.jobs, records.size())));
   meta.emplace_back("hardware_threads",
                     std::to_string(std::thread::hardware_concurrency()));
+  // Which execution backend these numbers came from (threads vs fibers) —
+  // wall-clock figures are not comparable across backends.
+  meta.emplace_back("engine_backend",
+                    to_string(sim::resolve_backend(ExecBackend::kAuto)));
   if (write_bench_json(path, name, records, meta)) {
     std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+/// --- blame sidecars ---------------------------------------------------------
+
+/// bench_options() with span recording enabled, for drivers that emit a
+/// BENCH_<name>_blame.json sidecar. Recording never schedules events, so the
+/// virtual-time results are identical to an un-observed run; only wall-clock
+/// figures shift (by the cost of appending spans).
+inline RuntimeOptions bench_obs_options(int images) {
+  RuntimeOptions options = bench_options(images);
+  options.obs.enabled = true;
+  // Figure drivers at 1024 images generate far more network flights than
+  // the default cap retains; flights feed the critical path and the trace
+  // export, so keep more of them.
+  options.obs.max_net_track_bytes = std::size_t{64} << 20;
+  return options;
+}
+
+/// Append a blame report's aggregate buckets and critical path to a sweep
+/// record's metrics (keys: blame_<bucket>_us, critical_path_us, ...).
+inline void append_blame_metrics(BenchRecord& record,
+                                 const obs::BlameReport& report) {
+  for (std::size_t b = 0; b < obs::kBlameBuckets; ++b) {
+    const auto blame = static_cast<obs::Blame>(b);
+    record.metrics.emplace_back(
+        std::string("blame_") + obs::to_string(blame) + "_us",
+        report.total[blame]);
+  }
+  record.metrics.emplace_back("critical_path_us", report.critical_path_us);
+  record.metrics.emplace_back(
+      "critical_path_hops", static_cast<double>(report.critical_path_hops));
+  record.metrics.emplace_back(
+      "finish_rounds_max", static_cast<double>(report.finish_rounds_max));
+  record.metrics.emplace_back("retransmit_us", report.retransmit_us);
+}
+
+/// Path of a named sidecar next to the main BENCH json.
+inline std::string sidecar_path(const BenchArgs& args, const std::string& name,
+                                const std::string& kind) {
+  return args.json.empty() ? "BENCH_" + name + "_" + kind + ".json"
+                           : args.json + "." + kind;
+}
+
+/// Emit the BENCH_<name>_blame.json sidecar for a finished sweep.
+inline void emit_blame_json(
+    const BenchArgs& args, const std::string& name,
+    const std::vector<BenchRecord>& records,
+    std::vector<std::pair<std::string, std::string>> extra_meta = {}) {
+  const std::string path = sidecar_path(args, name, "blame");
+  std::vector<std::pair<std::string, std::string>> meta;
+  meta.emplace_back("quick", args.quick ? "true" : "false");
+  meta.emplace_back("engine_backend",
+                    to_string(sim::resolve_backend(ExecBackend::kAuto)));
+  for (auto& entry : extra_meta) {
+    meta.push_back(std::move(entry));
+  }
+  if (write_bench_json(path, name + "_blame", records, meta)) {
+    std::printf("wrote %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
   }

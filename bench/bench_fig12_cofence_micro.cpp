@@ -19,14 +19,44 @@ using namespace caf2;
 
 enum class Variant { kCofence, kEvents, kFinish };
 
+const char* variant_name(Variant variant) {
+  switch (variant) {
+    case Variant::kCofence:
+      return "cofence";
+    case Variant::kEvents:
+      return "events";
+    case Variant::kFinish:
+      return "finish";
+  }
+  return "?";
+}
+
+/// The blame bucket the variant's producer-side wait lands in.
+caf2::obs::Blame variant_blame(Variant variant) {
+  switch (variant) {
+    case Variant::kCofence:
+      return caf2::obs::Blame::kCofenceWait;
+    case Variant::kEvents:
+      return caf2::obs::Blame::kEventWait;
+    case Variant::kFinish:
+      return caf2::obs::Blame::kFinishWait;
+  }
+  return caf2::obs::Blame::kOther;
+}
+
 constexpr int kPayloadBytes = 80;  // the paper's copied-data size
 constexpr int kTargetsPerIteration = 5;
 constexpr double kProduceCostUs = 2.0;  // produce_work_next_rnd() model
 
-double run_variant(Variant variant, int images, int iterations) {
+struct VariantResult {
   double elapsed_us = 0.0;
-  RuntimeOptions options = bench::bench_options(images);
-  run(options, [&] {
+  std::shared_ptr<const obs::Capture> capture;
+};
+
+VariantResult run_variant(Variant variant, int images, int iterations) {
+  double elapsed_us = 0.0;
+  RuntimeOptions options = bench::bench_obs_options(images);
+  const RunStats stats = run_stats(options, [&] {
     Team world = team_world();
     Coarray<std::uint8_t> inbuf(world, kPayloadBytes);
     std::vector<std::uint8_t> src(kPayloadBytes, 0xAB);
@@ -89,7 +119,7 @@ double run_variant(Variant variant, int images, int iterations) {
     elapsed_us = now_us() - t0;
     team_barrier(world);
   });
-  return elapsed_us;
+  return {elapsed_us, stats.obs};
 }
 
 }  // namespace
@@ -114,10 +144,48 @@ int main(int argc, char** argv) {
                  "cofence speedup vs finish"});
   table.precision(3);
 
+  std::vector<caf2::BenchRecord> blame_records;
+  bool ordering_ok = true;
+  std::string trace;  // merged Chrome trace of the largest sweep point
+
   for (int images : sweep) {
-    const double fin = run_variant(Variant::kFinish, images, iterations);
-    const double evt = run_variant(Variant::kEvents, images, iterations);
-    const double cof = run_variant(Variant::kCofence, images, iterations);
+    std::array<VariantResult, 3> results;
+    std::array<double, 3> producer_wait{};  // producer's own-mechanism wait
+    const Variant variants[] = {Variant::kFinish, Variant::kEvents,
+                                Variant::kCofence};
+    trace.clear();
+    for (int v = 0; v < 3; ++v) {
+      results[v] = run_variant(variants[v], images, iterations);
+      const caf2::obs::BlameReport report =
+          caf2::obs::analyze_blame(*results[v].capture);
+      producer_wait[v] = report.per_image[0][variant_blame(variants[v])];
+
+      caf2::BenchRecord record;
+      record.name = std::string(variant_name(variants[v])) +
+                    "/images=" + std::to_string(images);
+      record.virtual_us = results[v].elapsed_us;
+      record.metrics.emplace_back("images", images);
+      record.metrics.emplace_back("virtual_ms",
+                                  results[v].elapsed_us / 1000.0);
+      record.metrics.emplace_back("producer_wait_us", producer_wait[v]);
+      caf2::bench::append_blame_metrics(record, report);
+      blame_records.push_back(std::move(record));
+
+      if (!trace.empty()) {
+        trace += ",";
+      }
+      trace += caf2::obs::chrome_trace_events(*results[v].capture, v,
+                                              variant_name(variants[v]));
+    }
+    // The paper's ordering, measured at the producer's wait itself:
+    // cofence (data completion) < events (operation completion) < finish
+    // (global completion).
+    ordering_ok = ordering_ok && producer_wait[2] < producer_wait[1] &&
+                  producer_wait[1] < producer_wait[0];
+
+    const double fin = results[0].elapsed_us;
+    const double evt = results[1].elapsed_us;
+    const double cof = results[2].elapsed_us;
     table.add_row({static_cast<long long>(images), fin / 1000.0, evt / 1000.0,
                    cof / 1000.0, fin / cof});
   }
@@ -125,5 +193,19 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape (paper Fig. 12): cofence < events < finish at every\n"
       "scale, with the finish column growing with log(images).\n");
-  return 0;
+  std::printf("producer blame ordering (cofence < events < finish): %s\n",
+              ordering_ok ? "ok" : "VIOLATED");
+
+  caf2::bench::emit_blame_json(
+      args, "fig12", blame_records,
+      {{"producer_wait_ordering", ordering_ok ? "ok" : "violated"}});
+  const std::string trace_path =
+      caf2::bench::sidecar_path(args, "fig12", "trace");
+  if (caf2::obs::write_file(trace_path,
+                            "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [" +
+                                trace + "]}")) {
+    std::printf("wrote %s (load in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  return ordering_ok ? 0 : 1;
 }

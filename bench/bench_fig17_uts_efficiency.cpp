@@ -36,17 +36,16 @@ int main(int argc, char** argv) {
   table.precision(3);
 
   double t1_us = 0.0;
+  std::vector<BenchRecord> blame_records;
   for (int images : sweep) {
     double elapsed = 0.0;
     std::uint64_t total = 0;
-    int rounds = 0;
-    run(bench::bench_options(images), [&] {
-      const auto stats = kernels::uts_run(team_world(), config);
-      elapsed = bench::reduce_max(team_world(), stats.elapsed_us);
-      total = stats.total_nodes;
-      rounds = stats.finish_rounds;
-    });
-    (void)rounds;
+    const RunStats run_result =
+        run_stats(bench::bench_obs_options(images), [&] {
+          const auto stats = kernels::uts_run(team_world(), config);
+          elapsed = bench::reduce_max(team_world(), stats.elapsed_us);
+          total = stats.total_nodes;
+        });
     if (images == sweep.front() && images == 1) {
       t1_us = elapsed;
     } else if (t1_us == 0.0) {
@@ -57,11 +56,32 @@ int main(int argc, char** argv) {
     table.add_row({static_cast<long long>(images),
                    static_cast<long long>(total), elapsed / 1000.0, speedup,
                    speedup / images});
+
+    // Blame sidecar: where the non-compute fraction of the run went —
+    // the paper's efficiency loss is exactly these buckets.
+    const obs::BlameReport report = obs::analyze_blame(*run_result.obs);
+    std::uint64_t steal_attempts = 0;
+    for (const obs::Metrics& m : run_result.obs->metrics) {
+      steal_attempts += m.counter(obs::Counter::kStealAttempts);
+    }
+    BenchRecord record;
+    record.name = "uts/images=" + std::to_string(images);
+    record.virtual_us = run_result.virtual_us;
+    record.events = run_result.events;
+    record.metrics.emplace_back("images", images);
+    record.metrics.emplace_back("total_nodes",
+                                static_cast<double>(total));
+    record.metrics.emplace_back("efficiency", speedup / images);
+    record.metrics.emplace_back("steal_attempts",
+                                static_cast<double>(steal_attempts));
+    bench::append_blame_metrics(record, report);
+    blame_records.push_back(std::move(record));
   }
   table.print();
   std::printf(
       "\nExpected shape (paper Fig. 17): efficiency in the 0.7-1.0 band,\n"
       "declining gently as images increase (74%%-80%% across the paper's\n"
       "256-32768 cores).\n");
+  bench::emit_blame_json(args, "fig17", blame_records);
   return 0;
 }

@@ -6,22 +6,30 @@
 
 #include "kernels/uts_scheduler.hpp"
 
+#include <bit>
+
 #include "bench_common.hpp"
 
 namespace {
 
-int rounds_for(caf2::DetectorKind detector, int images,
-               const caf2::kernels::UtsConfig& base) {
+struct RoundsResult {
+  int rounds = 0;  ///< reduce_max over every image's last finish report
+  std::shared_ptr<const caf2::obs::Capture> capture;
+};
+
+RoundsResult rounds_for(caf2::DetectorKind detector, int images,
+                        const caf2::kernels::UtsConfig& base) {
   using namespace caf2;
   kernels::UtsConfig config = base;
   config.detector = detector;
-  int rounds = 0;
-  run(bench::bench_options(images), [&] {
-    const auto stats = kernels::uts_run(team_world(), config);
-    rounds = static_cast<int>(bench::reduce_max(
-        team_world(), static_cast<double>(stats.finish_rounds)));
+  RoundsResult result;
+  const RunStats stats = run_stats(bench::bench_obs_options(images), [&] {
+    const auto uts = kernels::uts_run(team_world(), config);
+    result.rounds = static_cast<int>(bench::reduce_max(
+        team_world(), static_cast<double>(uts.finish_rounds)));
   });
-  return rounds;
+  result.capture = stats.obs;
+  return result;
 }
 
 }  // namespace
@@ -50,17 +58,52 @@ int main(int argc, char** argv) {
                  "algorithm w/o upper bound", "ratio"});
   table.precision(2);
 
+  std::vector<BenchRecord> blame_records;
+  bool rounds_consistent = true;
   for (int images : sweep) {
-    const int bounded = rounds_for(DetectorKind::kEpoch, images, config);
-    const int speculative =
+    const RoundsResult bounded =
+        rounds_for(DetectorKind::kEpoch, images, config);
+    const RoundsResult speculative =
         rounds_for(DetectorKind::kSpeculative, images, config);
     table.add_row({static_cast<long long>(images),
-                   static_cast<long long>(bounded),
-                   static_cast<long long>(speculative),
-                   static_cast<double>(speculative) /
-                       static_cast<double>(bounded)});
+                   static_cast<long long>(bounded.rounds),
+                   static_cast<long long>(speculative.rounds),
+                   static_cast<double>(speculative.rounds) /
+                       static_cast<double>(bounded.rounds)});
+
+    // Blame sidecar: one record per detector. The recorder counts rounds
+    // independently of the detectors' own reports (finish-detect spans carry
+    // the wave count), so the sidecar cross-checks the table.
+    const int ceil_log2_images =
+        images <= 1 ? 0 : std::bit_width(static_cast<unsigned>(images - 1));
+    struct Pair {
+      const char* name;
+      const RoundsResult* result;
+    };
+    for (const Pair& entry : {Pair{"bounded", &bounded},
+                              Pair{"speculative", &speculative}}) {
+      const obs::BlameReport report =
+          obs::analyze_blame(*entry.result->capture);
+      rounds_consistent =
+          rounds_consistent &&
+          static_cast<int>(report.finish_rounds_max) == entry.result->rounds;
+      BenchRecord record;
+      record.name =
+          std::string(entry.name) + "/images=" + std::to_string(images);
+      record.metrics.emplace_back("images", images);
+      record.metrics.emplace_back("rounds",
+                                  static_cast<double>(entry.result->rounds));
+      record.metrics.emplace_back("ceil_log2_images", ceil_log2_images);
+      bench::append_blame_metrics(record, report);
+      blame_records.push_back(std::move(record));
+    }
   }
   table.print();
+  std::printf("obs finish-round count matches the detectors' reports: %s\n",
+              rounds_consistent ? "ok" : "VIOLATED");
+  bench::emit_blame_json(
+      args, "fig18", blame_records,
+      {{"rounds_consistent", rounds_consistent ? "ok" : "violated"}});
   std::printf(
       "\nPaper Fig. 18 reports the bounded algorithm using about half the\n"
       "waves of the unbounded variant. In this reproduction the two are\n"
@@ -69,5 +112,5 @@ int main(int argc, char** argv) {
       "images executes inside the wave wait). The speculation penalty only\n"
       "appears when waves are much cheaper than in-flight settling — see\n"
       "EXPERIMENTS.md for the full analysis.\n");
-  return 0;
+  return rounds_consistent ? 0 : 1;
 }

@@ -28,6 +28,7 @@ RunStats run_stats(const RuntimeOptions& options,
   stats.backend = runtime.engine().backend();
   stats.peak_rss_bytes = peak_rss_bytes();
   stats.faults = runtime.network().fault_stats();
+  stats.obs = runtime.take_capture();
   return stats;
 }
 

@@ -24,6 +24,8 @@
 ///   caf2::Event          local operation completion (explicit)
 ///   caf2::finish(...)    global completion across a team
 
+#include <memory>
+
 #include "core/cofence.hpp"
 #include "core/finish.hpp"
 #include "ops/collectives.hpp"
@@ -33,6 +35,10 @@
 #include "runtime/event.hpp"
 #include "runtime/team.hpp"
 #include "support/config.hpp"
+
+namespace caf2::obs {
+struct Capture;
+}  // namespace caf2::obs
 
 namespace caf2 {
 
@@ -58,6 +64,10 @@ struct RunStats {
   ExecBackend backend = ExecBackend::kAuto;  ///< resolved backend that ran
   std::uint64_t peak_rss_bytes = 0;  ///< process peak RSS after the run
   FaultStats faults{};       ///< injected-fault / retransmission counters
+  /// Observability capture (spans + metrics); non-null only when
+  /// RuntimeOptions::obs.enabled was set. Feed to obs::to_chrome_trace(),
+  /// obs::to_text(), or obs::analyze_blame().
+  std::shared_ptr<const obs::Capture> obs;
 };
 
 /// Like run(), but returns the simulator statistics of the finished run.

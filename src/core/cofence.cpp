@@ -1,16 +1,27 @@
 #include "core/cofence.hpp"
 
 #include "runtime/image.hpp"
+#include "runtime/runtime.hpp"
 
 namespace caf2 {
 
 void cofence(Pass downward, Pass upward) {
   (void)upward;  // no statement reordering exists in a library runtime
   rt::Image& image = rt::Image::current();
+  obs::Recorder* const rec = image.runtime().observer();
+  const double obs_begin =
+      rec != nullptr ? image.runtime().engine().now() : 0.0;
   auto& scope = image.cofence_tracker().current();
-  image.wait_for(
-      [&scope, downward] { return scope.data_complete_for(downward); },
-      "cofence");
+  {
+    obs::BlameScope blame(rec, image.rank(), obs::Blame::kCofenceWait);
+    image.wait_for(
+        [&scope, downward] { return scope.data_complete_for(downward); },
+        "cofence");
+  }
+  if (rec != nullptr) {
+    rec->op_span(image.rank(), obs::SpanKind::kCofence, obs_begin,
+                 image.runtime().engine().now());
+  }
 }
 
 std::size_t outstanding_implicit_ops() {

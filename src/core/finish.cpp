@@ -36,22 +36,37 @@ void end_finish(rt::Image& image, const Team& team, const net::FinishKey& key,
                 const FinishOptions& options) {
   image.pop_finish();
 
+  obs::Recorder* const rec = image.runtime().observer();
   const double start_us = image.runtime().engine().now();
   int rounds = 0;
-  switch (options.detector) {
-    case DetectorKind::kEpoch:
-      rounds = core::detect_epoch(image, team, key, /*wait_quiescence=*/true);
-      break;
-    case DetectorKind::kSpeculative:
-      rounds =
-          core::detect_epoch(image, team, key, /*wait_quiescence=*/false);
-      break;
-    case DetectorKind::kFourCounter:
-      rounds = core::detect_four_counter(image, team, key);
-      break;
-    case DetectorKind::kCentralized:
-      rounds = core::detect_centralized(image, team, key);
-      break;
+  {
+    // Every wait inside the detector — allreduce event waits, quiescence
+    // drains — is finish termination-detection time.
+    obs::BlameScope blame(rec, image.rank(), obs::Blame::kFinishWait);
+    switch (options.detector) {
+      case DetectorKind::kEpoch:
+        rounds =
+            core::detect_epoch(image, team, key, /*wait_quiescence=*/true);
+        break;
+      case DetectorKind::kSpeculative:
+        rounds =
+            core::detect_epoch(image, team, key, /*wait_quiescence=*/false);
+        break;
+      case DetectorKind::kFourCounter:
+        rounds = core::detect_four_counter(image, team, key);
+        break;
+      case DetectorKind::kCentralized:
+        rounds = core::detect_centralized(image, team, key);
+        break;
+    }
+  }
+  if (rec != nullptr) {
+    rec->op_span(image.rank(), obs::SpanKind::kFinishDetect, start_us,
+                 image.runtime().engine().now(),
+                 static_cast<std::uint64_t>(rounds), key.seq);
+    rec->add(image.rank(), obs::Counter::kFinishScopes);
+    rec->add(image.rank(), obs::Counter::kFinishRounds,
+             static_cast<std::uint64_t>(rounds));
   }
 
   image.finish_state(key).mark_terminated();
@@ -69,12 +84,19 @@ void end_finish(rt::Image& image, const Team& team, const net::FinishKey& key,
 void finish(const Team& team, const std::function<void()>& body,
             FinishOptions options) {
   rt::Image& image = rt::Image::current();
+  obs::Recorder* const rec = image.runtime().observer();
+  const double obs_begin =
+      rec != nullptr ? image.runtime().engine().now() : 0.0;
   const net::FinishKey key = begin_finish(image, team);
   try {
     body();
   } catch (...) {
     image.pop_finish();
     throw;
+  }
+  if (rec != nullptr) {
+    rec->op_span(image.rank(), obs::SpanKind::kFinishBody, obs_begin,
+                 image.runtime().engine().now(), 0, key.seq);
   }
   end_finish(image, team, key, options);
 }

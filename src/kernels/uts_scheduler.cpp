@@ -245,13 +245,20 @@ UtsStats uts_run(const Team& team, const UtsConfig& config) {
           }
           state.pending_steal = true;
           state.stats.steals_attempted += 1;
+          obs::Recorder* const rec = image.runtime().observer();
+          if (rec != nullptr) {
+            rec->add(image.rank(), obs::Counter::kStealAttempts);
+          }
           spawn<uts_steal_request>(team.world_rank(victim),
                                    static_cast<std::int32_t>(team.rank()));
-          image.wait_for(
-              [&state] {
-                return !state.pending_steal || !state.queue.empty();
-              },
-              "uts steal");
+          {
+            obs::BlameScope blame(rec, image.rank(), obs::Blame::kStealIdle);
+            image.wait_for(
+                [&state] {
+                  return !state.pending_steal || !state.queue.empty();
+                },
+                "uts steal");
+          }
           if (!state.queue.empty()) {
             drain();
           } else {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace caf2::net {
 
 Network::Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed)
@@ -68,23 +70,52 @@ void Network::account_send(const Message& message) {
   bytes_sent_ += bytes;
   traffic_[source].messages_out += 1;
   traffic_[source].bytes_out += bytes;
+  if (observer_ != nullptr) {
+    observer_->add(message.header.source, obs::Counter::kMessagesSent);
+  }
 }
 
 void Network::run_deliver_phase(Flight flight) {
+  const int source = flight.message.header.source;
   const std::size_t dest = static_cast<std::size_t>(flight.message.header.dest);
+  const std::size_t bytes = flight.message.size_bytes();
   traffic_[dest].messages_in += 1;
-  traffic_[dest].bytes_in += flight.message.size_bytes();
+  traffic_[dest].bytes_in += bytes;
   mailboxes_[dest].push(std::move(flight.message));
   engine_.unblock(static_cast<int>(dest));
+  std::uint64_t span = 0;
+  if (observer_ != nullptr) {
+    const double now = engine_.now();
+    span = observer_->flight_span(source, static_cast<int>(dest),
+                                  flight.init_us, now, bytes);
+    observer_->note_cause(static_cast<int>(dest), span);
+    observer_->add(static_cast<int>(dest), obs::Counter::kMessagesDelivered);
+    observer_->maxed(static_cast<int>(dest), obs::Counter::kMailboxHighWater,
+                     mailboxes_[dest].size());
+    observer_->observe(static_cast<int>(dest), obs::Hist::kMessageLatency,
+                       now - flight.init_us);
+  }
   if (flight.has_ack) {
     if (flight.timing.ack_at == flight.timing.deliver_at) {
       // Zero ack latency: completion is observable at delivery time, and the
       // reserved ack sequence number immediately follows the delivery's, so
       // running it inline preserves the dispatch order exactly.
+      if (observer_ != nullptr) {
+        observer_->note_cause(source, span);
+      }
       flight.callbacks.on_acked();
-    } else {
+    } else if (observer_ == nullptr) {
       engine_.post_reserved(flight.timing.ack_at, flight.ack_seq,
                             std::move(flight.callbacks.on_acked));
+    } else {
+      // Same event, same (at, seq); the wrapper only notes the cause first.
+      engine_.post_reserved(
+          flight.timing.ack_at, flight.ack_seq,
+          [this, source, span,
+           acked = std::move(flight.callbacks.on_acked)] {
+            observer_->note_cause(source, span);
+            acked();
+          });
     }
   }
 }
@@ -105,7 +136,8 @@ void Network::send(Message message, SendCallbacks callbacks) {
     return;
   }
   Flight flight;
-  flight.timing = plan(engine_.now(), message.size_bytes());
+  flight.init_us = engine_.now();
+  flight.timing = plan(flight.init_us, message.size_bytes());
   flight.message = std::move(message);
   flight.callbacks = std::move(callbacks);
   account_send(flight.message);
@@ -155,7 +187,8 @@ void Network::send_staged(MessageHeader header, std::size_t size_hint,
                          std::move(callbacks));
     return;
   }
-  const Timing timing = plan(engine_.now(), size_hint);
+  const double init_us = engine_.now();
+  const Timing timing = plan(init_us, size_hint);
 
   // At staging time the network reads the source buffer; only then does the
   // message exist as an independent payload. Overwriting the source buffer
@@ -164,13 +197,14 @@ void Network::send_staged(MessageHeader header, std::size_t size_hint,
   const std::uint64_t stage_seq = engine_.reserve_seq();
   engine_.post_reserved(
       timing.stage_at, stage_seq,
-      [this, header, timing, read = std::move(read),
+      [this, header, timing, init_us, read = std::move(read),
        callbacks = std::move(callbacks)]() mutable {
         Flight flight;
         flight.message.header = header;
         flight.message.payload = read();
         flight.callbacks = std::move(callbacks);
         flight.timing = timing;
+        flight.init_us = init_us;
         if (flight.callbacks.on_staged) {
           flight.callbacks.on_staged();
           flight.callbacks.on_staged = nullptr;
@@ -308,6 +342,13 @@ void Network::start_attempt(std::uint64_t id) {
   // elapsed); retransmissions re-inject the payload from scratch.
   const double base =
       engine_.now() + (flight.attempts == 1 ? 0.0 : flight.inject_us);
+  if (flight.attempts == 1) {
+    // Fault-free expectations, jitter at its configured maximum: actual
+    // times beyond these are provably fault-induced.
+    flight.expected_deliver_us = base + params_.latency_us + params_.jitter_us;
+    flight.expected_ack_us =
+        flight.expected_deliver_us + params_.effective_ack_latency_us();
+  }
   const double deliver_at = base + params_.latency_us + faults.jitter_us +
                             faults.extra_delay_us;
   if (!faults.drop) {
@@ -341,6 +382,31 @@ void Network::deliver_attempt(const std::shared_ptr<const Message>& message,
     traffic_[dest].bytes_in += message->size_bytes();
     mailboxes_[dest].push(*message);
     engine_.unblock(header.dest);
+    if (observer_ != nullptr) {
+      const double now = engine_.now();
+      double begin = now;
+      double expected = now;
+      const auto it = inflight_.find(flight_id);  // present until acked
+      if (it != inflight_.end()) {
+        begin = it->second.first_sent_us;
+        expected = it->second.expected_deliver_us;
+      }
+      const std::uint64_t span = observer_->flight_span(
+          header.source, header.dest, begin, now, message->size_bytes());
+      if (it != inflight_.end()) {
+        it->second.obs_span = span;
+      }
+      observer_->note_cause(header.dest, span);
+      observer_->add(header.dest, obs::Counter::kMessagesDelivered);
+      observer_->maxed(header.dest, obs::Counter::kMailboxHighWater,
+                       mailboxes_[dest].size());
+      observer_->observe(header.dest, obs::Hist::kMessageLatency, now - begin);
+      if (now > expected + 1e-9) {
+        // The paper's satellite claim: time a fault added shows up as
+        // network blame, not as whatever construct happened to be waiting.
+        observer_->retransmit_span(header.dest, header.source, expected, now);
+      }
+    }
   } else {
     fault_stats_.duplicates_suppressed += 1;
   }
@@ -358,6 +424,16 @@ void Network::handle_ack(std::uint64_t id) {
   auto it = inflight_.find(id);
   if (it == inflight_.end()) {
     return;  // duplicate or late ack of a completed flight
+  }
+  if (observer_ != nullptr) {
+    const ReliableFlight& flight = it->second;
+    const MessageHeader& header = flight.message->header;
+    const double now = engine_.now();
+    observer_->note_cause(header.source, flight.obs_span);
+    if (now > flight.expected_ack_us + 1e-9) {
+      observer_->retransmit_span(header.source, header.dest,
+                                 flight.expected_ack_us, now);
+    }
   }
   SendCallbacks callbacks = std::move(it->second.callbacks);
   inflight_.erase(it);
@@ -389,6 +465,10 @@ void Network::on_retransmit_timer(std::uint64_t id, int attempt) {
     return;
   }
   fault_stats_.retransmits += 1;
+  if (observer_ != nullptr) {
+    observer_->add(flight.message->header.source,
+                   obs::Counter::kMessagesRetransmitted);
+  }
   flight.rto_us *= params_.reliability.backoff;
   start_attempt(id);
 }

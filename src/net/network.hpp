@@ -55,6 +55,10 @@
 #include "support/config.hpp"
 #include "support/rng.hpp"
 
+namespace caf2::obs {
+class Recorder;
+}
+
 namespace caf2::net {
 
 /// Completion callbacks of one send. Both run as engine callbacks (no
@@ -125,6 +129,12 @@ class Network {
   /// sequence number, attempts, age) plus the fault counters.
   std::string describe_state() const;
 
+  /// Attach an observability recorder (nullptr detaches; see obs/obs.hpp).
+  /// Deliveries and acks then record flight spans on the network track, note
+  /// unblock causes, and bump message counters — without ever scheduling or
+  /// reordering events, so the flight chains are unchanged.
+  void set_observer(obs::Recorder* observer) { observer_ = observer; }
+
  private:
   struct Timing {
     double stage_at;
@@ -147,6 +157,7 @@ class Network {
     std::uint64_t deliver_seq = 0;
     std::uint64_t ack_seq = 0;
     bool has_ack = false;
+    double init_us = 0.0;  ///< initiation time (observability only)
   };
 
   /// Source-side accounting charged when the message is injected.
@@ -198,6 +209,12 @@ class Network {
     double first_sent_us = 0.0;
     double inject_us = 0.0;     ///< injection cost charged per attempt
     double rto_us = 0.0;        ///< current retransmit timeout
+    // Observability only. "Expected" marks include the *maximum* jitter, so
+    // a fault-free reliable run records no retransmit-delay spans and blame
+    // reattribution fires only on genuinely fault-lengthened waits.
+    double expected_deliver_us = 0.0;
+    double expected_ack_us = 0.0;
+    std::uint64_t obs_span = 0;  ///< flight span id (parent of the ack wake)
   };
 
   void send_reliable(Message message, SendCallbacks callbacks);
@@ -249,6 +266,7 @@ class Network {
   std::uint64_t next_flight_id_ = 0;
   double max_extra_delay_us_ = 0.0;
   FaultStats fault_stats_;
+  obs::Recorder* observer_ = nullptr;
 };
 
 }  // namespace caf2::net

@@ -1,0 +1,251 @@
+#include "obs/blame.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace caf2::obs {
+
+double BlameBreakdown::total() const {
+  double sum = 0.0;
+  for (const double v : us) {
+    sum += v;
+  }
+  return sum;
+}
+
+namespace {
+
+/// Half-open interval of fault-induced extra delay on one image.
+struct Interval {
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Merge overlapping/adjacent intervals in place; input need not be sorted.
+void merge_intervals(std::vector<Interval>& intervals) {
+  if (intervals.empty()) {
+    return;
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].begin <= intervals[out].end) {
+      intervals[out].end = std::max(intervals[out].end, intervals[i].end);
+    } else {
+      out += 1;
+      intervals[out] = intervals[i];
+    }
+  }
+  intervals.resize(out + 1);
+}
+
+/// Total overlap of [begin, end) with the merged \p intervals.
+double overlap_us(const std::vector<Interval>& intervals, double begin,
+                  double end) {
+  double sum = 0.0;
+  for (const Interval& iv : intervals) {
+    if (iv.begin >= end) {
+      break;
+    }
+    sum += std::max(0.0, std::min(end, iv.end) - std::max(begin, iv.begin));
+  }
+  return sum;
+}
+
+/// One node of the critical-path DP: a timeline span (kCompute/kBlocked) or
+/// a message flight, processed in global end-time order.
+struct Node {
+  double begin = 0.0;
+  double end = 0.0;
+  std::uint64_t parent = 0;  ///< flight span id (timeline spans only)
+  std::uint64_t flight_id = 0;  ///< span id (flight nodes only)
+  std::int32_t image = -1;      ///< owning image (flights: source image)
+  bool is_flight = false;
+};
+
+/// Chain value reaching the end of a node.
+struct Chain {
+  double us = 0.0;
+  std::uint64_t hops = 0;
+};
+
+}  // namespace
+
+BlameReport analyze_blame(const Capture& capture) {
+  BlameReport report;
+  report.per_image.resize(static_cast<std::size_t>(capture.images));
+
+  // Fault-induced delay intervals, keyed by the affected image.
+  std::vector<std::vector<Interval>> delays(
+      static_cast<std::size_t>(capture.images));
+  for (const Span& span : capture.net_track().spans) {
+    if (span.kind == SpanKind::kRetransmitDelay && span.image >= 0 &&
+        span.image < capture.images && span.end > span.begin) {
+      delays[static_cast<std::size_t>(span.image)].push_back(
+          {span.begin, span.end});
+    }
+  }
+  for (auto& intervals : delays) {
+    merge_intervals(intervals);
+  }
+
+  // --- per-image attribution ------------------------------------------------
+  for (int image = 0; image < capture.images; ++image) {
+    BlameBreakdown& breakdown =
+        report.per_image[static_cast<std::size_t>(image)];
+    const auto& intervals = delays[static_cast<std::size_t>(image)];
+    for (const Span& span : capture.image_track(image).spans) {
+      const double dur = span.end - span.begin;
+      switch (span.kind) {
+        case SpanKind::kCompute:
+          breakdown[Blame::kCompute] += dur;
+          break;
+        case SpanKind::kBlocked: {
+          // Causes are only ever flight span ids, so an un-scoped wait that
+          // a message delivery released was waiting on the wire.
+          Blame bucket = span.blame;
+          if (bucket == Blame::kOther && span.parent != 0) {
+            bucket = Blame::kNetwork;
+          }
+          double charged = dur;
+          if (!intervals.empty()) {
+            const double delayed = overlap_us(intervals, span.begin, span.end);
+            if (delayed > 0.0 && bucket != Blame::kNetwork) {
+              breakdown[Blame::kNetwork] += delayed;
+              report.retransmit_us += delayed;
+              charged -= delayed;
+            }
+          }
+          breakdown[bucket] += charged;
+          break;
+        }
+        case SpanKind::kFinishDetect:
+          report.finish_rounds_max =
+              std::max(report.finish_rounds_max, span.a);
+          break;
+        default:
+          break;  // op annotations overlay the timeline; don't double-count
+      }
+    }
+  }
+  for (const BlameBreakdown& breakdown : report.per_image) {
+    for (std::size_t b = 0; b < kBlameBuckets; ++b) {
+      report.total.us[b] += breakdown.us[b];
+    }
+  }
+
+  // --- critical path --------------------------------------------------------
+  // Nodes: every timeline span plus every flight, processed in end-time
+  // order (flights first on ties: a delivery at t unblocks a wait ending at
+  // the same t). Timeline spans chain from the previous span on their image
+  // and from their parent flight; flights chain from the latest source-image
+  // span ending at or before their initiation.
+  std::vector<Node> nodes;
+  for (int image = 0; image < capture.images; ++image) {
+    for (const Span& span : capture.image_track(image).spans) {
+      if (span.kind == SpanKind::kCompute || span.kind == SpanKind::kBlocked) {
+        nodes.push_back({span.begin, span.end, span.parent, 0, image, false});
+      }
+    }
+  }
+  for (const Span& span : capture.net_track().spans) {
+    if (span.kind == SpanKind::kFlight) {
+      nodes.push_back({span.begin, span.end, 0, span.id, span.image, true});
+    }
+  }
+  std::stable_sort(nodes.begin(), nodes.end(),
+                   [](const Node& a, const Node& b) {
+                     if (a.end != b.end) {
+                       return a.end < b.end;
+                     }
+                     return a.is_flight && !b.is_flight;
+                   });
+
+  // Per-image prefix-max chains over processed timeline spans, for the
+  // flight -> source-image link (binary search by end time).
+  std::vector<std::vector<std::pair<double, Chain>>> prefix(
+      static_cast<std::size_t>(capture.images));
+  std::vector<Chain> last(static_cast<std::size_t>(capture.images));
+  std::unordered_map<std::uint64_t, Chain> flight_chain;
+  Chain best;
+  int best_image = -1;
+
+  for (const Node& node : nodes) {
+    const double dur = node.end - node.begin;
+    if (node.is_flight) {
+      Chain chain{dur, 1};
+      if (node.image >= 0 && node.image < capture.images) {
+        const auto& pm = prefix[static_cast<std::size_t>(node.image)];
+        // Latest source-image span ending at or before the initiation.
+        auto it = std::upper_bound(
+            pm.begin(), pm.end(), node.begin,
+            [](double t, const auto& entry) { return t < entry.first; });
+        if (it != pm.begin()) {
+          const Chain& pred = std::prev(it)->second;
+          chain.us += pred.us;
+          chain.hops += pred.hops;
+        }
+      }
+      flight_chain[node.flight_id] = chain;
+      continue;
+    }
+    Chain pred = last[static_cast<std::size_t>(node.image)];
+    if (node.parent != 0) {
+      const auto it = flight_chain.find(node.parent);
+      if (it != flight_chain.end() && it->second.us > pred.us) {
+        pred = it->second;
+      }
+    }
+    const Chain chain{pred.us + dur, pred.hops + 1};
+    last[static_cast<std::size_t>(node.image)] = chain;
+    auto& pm = prefix[static_cast<std::size_t>(node.image)];
+    const Chain running =
+        pm.empty() || chain.us > pm.back().second.us ? chain : pm.back().second;
+    pm.emplace_back(node.end, running);
+    if (chain.us > best.us) {
+      best = chain;
+      best_image = node.image;
+    }
+  }
+  report.critical_path_us = best.us;
+  report.critical_path_hops = best.hops;
+  report.critical_path_image = best_image;
+  return report;
+}
+
+std::string to_text(const BlameReport& report) {
+  std::string out;
+  char buf[256];
+  const auto row = [&](const char* name, const BlameBreakdown& b) {
+    std::snprintf(buf, sizeof buf,
+                  "%-6s compute=%.3f network=%.3f finish=%.3f cofence=%.3f "
+                  "event=%.3f steal=%.3f other=%.3f total=%.3f\n",
+                  name, b[Blame::kCompute], b[Blame::kNetwork],
+                  b[Blame::kFinishWait], b[Blame::kCofenceWait],
+                  b[Blame::kEventWait], b[Blame::kStealIdle],
+                  b[Blame::kOther], b.total());
+    out += buf;
+  };
+  row("total", report.total);
+  for (std::size_t i = 0; i < report.per_image.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "img%zu", i);
+    row(name, report.per_image[i]);
+  }
+  std::snprintf(buf, sizeof buf,
+                "critical path %.3f us over %llu spans ending on image %d; "
+                "finish rounds max %llu; retransmit reattributed %.3f us\n",
+                report.critical_path_us,
+                static_cast<unsigned long long>(report.critical_path_hops),
+                report.critical_path_image,
+                static_cast<unsigned long long>(report.finish_rounds_max),
+                report.retransmit_us);
+  out += buf;
+  return out;
+}
+
+}  // namespace caf2::obs

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file blame.hpp
+/// Critical-path blame analyzer over a recorded obs::Capture
+/// (DESIGN.md §4.9).
+///
+/// Replays the span DAG after the run and answers two questions the raw
+/// span dump cannot:
+///  - *where did each image's virtual time go?* — every image's timeline is
+///    tiled by kCompute/kBlocked spans; blocked intervals are attributed to
+///    the synchronization construct that parked the image (finish-wait,
+///    cofence-wait, event-wait, steal-idle, ...), except that waits whose
+///    unblocking cause was a message flight are charged to the *network*,
+///    and time provably added by retransmissions is re-attributed to the
+///    network no matter which construct was waiting (ISSUE satellite:
+///    "retransmit spans attributed to network, not to finish-wait");
+///  - *what bounded the run?* — the longest dependency chain through the
+///    DAG (image timelines linked by message flights), i.e. the virtual
+///    critical path.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace caf2::obs {
+
+constexpr std::size_t kBlameBuckets = 7;  ///< one per Blame enumerator
+
+/// Virtual microseconds of one image (or the aggregate) split by blame.
+struct BlameBreakdown {
+  std::array<double, kBlameBuckets> us{};
+
+  double& operator[](Blame b) { return us[static_cast<std::size_t>(b)]; }
+  double operator[](Blame b) const { return us[static_cast<std::size_t>(b)]; }
+
+  /// Sum over every bucket (≈ the image's span of virtual time).
+  double total() const;
+};
+
+/// Result of analyze_blame().
+struct BlameReport {
+  std::vector<BlameBreakdown> per_image;
+  BlameBreakdown total;  ///< element-wise sum over images
+
+  /// Longest dependency chain through the span DAG: image timeline spans in
+  /// sequence, crossing images via the message flight that unblocked a wait.
+  double critical_path_us = 0.0;
+  std::uint64_t critical_path_hops = 0;   ///< spans on the chain
+  int critical_path_image = -1;           ///< image where the chain ends
+
+  /// Max over every finish-detect span's round count (the paper's
+  /// (L+1)-bounded allreduce waves, Fig. 18).
+  std::uint64_t finish_rounds_max = 0;
+
+  /// Virtual time re-attributed from construct buckets to the network
+  /// because retransmission delays overlapped the wait.
+  double retransmit_us = 0.0;
+};
+
+/// Walk \p capture's span DAG and attribute every image's virtual time.
+BlameReport analyze_blame(const Capture& capture);
+
+/// Human-readable fixed-precision rendering (aggregate + per-image rows).
+std::string to_text(const BlameReport& report);
+
+}  // namespace caf2::obs

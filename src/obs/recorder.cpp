@@ -1,0 +1,286 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace caf2::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCompute:
+      return "compute";
+    case SpanKind::kBlocked:
+      return "blocked";
+    case SpanKind::kHandler:
+      return "handler";
+    case SpanKind::kPut:
+      return "put";
+    case SpanKind::kGet:
+      return "get";
+    case SpanKind::kSpawn:
+      return "spawn";
+    case SpanKind::kEventWait:
+      return "event_wait";
+    case SpanKind::kEventNotify:
+      return "event_notify";
+    case SpanKind::kCofence:
+      return "cofence";
+    case SpanKind::kFinishBody:
+      return "finish_body";
+    case SpanKind::kFinishDetect:
+      return "finish_detect";
+    case SpanKind::kCollective:
+      return "collective";
+    case SpanKind::kStealIdle:
+      return "steal_idle";
+    case SpanKind::kFlight:
+      return "flight";
+    case SpanKind::kRetransmitDelay:
+      return "retransmit_delay";
+  }
+  return "?";
+}
+
+const char* to_string(Blame blame) {
+  switch (blame) {
+    case Blame::kCompute:
+      return "compute";
+    case Blame::kNetwork:
+      return "network";
+    case Blame::kFinishWait:
+      return "finish_wait";
+    case Blame::kCofenceWait:
+      return "cofence_wait";
+    case Blame::kEventWait:
+      return "event_wait";
+    case Blame::kStealIdle:
+      return "steal_idle";
+    case Blame::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+const char* to_string(Counter counter) {
+  switch (counter) {
+    case Counter::kMessagesSent:
+      return "messages_sent";
+    case Counter::kMessagesDelivered:
+      return "messages_delivered";
+    case Counter::kMessagesRetransmitted:
+      return "messages_retransmitted";
+    case Counter::kHandlersRun:
+      return "handlers_run";
+    case Counter::kFinishScopes:
+      return "finish_scopes";
+    case Counter::kFinishRounds:
+      return "finish_rounds";
+    case Counter::kStealAttempts:
+      return "steal_attempts";
+    case Counter::kMailboxHighWater:
+      return "mailbox_high_water";
+    case Counter::kSpansDropped:
+      return "spans_dropped";
+    case Counter::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* to_string(Hist hist) {
+  switch (hist) {
+    case Hist::kMessageLatency:
+      return "message_latency_us";
+    case Hist::kBlockedTime:
+      return "blocked_time_us";
+    case Hist::kHandlerTime:
+      return "handler_time_us";
+    case Hist::kCount:
+      break;
+  }
+  return "?";
+}
+
+void Histogram::add(double us) {
+  count += 1;
+  sum_us += us;
+  int bucket = 0;
+  double edge = kBaseUs;
+  while (bucket < kBuckets - 1 && us > edge) {
+    edge *= 2.0;
+    bucket += 1;
+  }
+  buckets[static_cast<std::size_t>(bucket)] += 1;
+}
+
+Recorder::Recorder(int images, ObsConfig config)
+    : config_(config),
+      images_(static_cast<std::size_t>(images > 0 ? images : 0)) {
+  CAF2_REQUIRE(images > 0, "obs::Recorder needs at least one image");
+}
+
+Recorder::PerImage& Recorder::at(int image) {
+  CAF2_REQUIRE(image >= 0 && image < images(),
+               "obs::Recorder: image rank out of range");
+  return images_[static_cast<std::size_t>(image)];
+}
+
+const Recorder::PerImage& Recorder::at(int image) const {
+  CAF2_REQUIRE(image >= 0 && image < images(),
+               "obs::Recorder: image rank out of range");
+  return images_[static_cast<std::size_t>(image)];
+}
+
+std::uint64_t Recorder::push_span(Track& track, std::size_t cap_bytes,
+                                  Span span, Metrics* image_metrics) {
+  next_id_ += 1;
+  span.id = next_id_;
+  if ((track.spans.size() + 1) * sizeof(Span) > cap_bytes) {
+    track.dropped += 1;
+    if (image_metrics != nullptr) {
+      image_metrics->counters[static_cast<std::size_t>(
+          Counter::kSpansDropped)] += 1;
+    }
+    return span.id;
+  }
+  track.spans.push_back(span);
+  return span.id;
+}
+
+void Recorder::on_compute(int image, double begin, double end) {
+  PerImage& state = at(image);
+  Span span;
+  span.begin = begin;
+  span.end = end;
+  span.image = image;
+  span.kind = SpanKind::kCompute;
+  span.blame = Blame::kCompute;
+  push_span(state.track, config_.max_image_track_bytes, span, &state.metrics);
+}
+
+void Recorder::on_block_begin(int image, double at_us, const char* reason) {
+  PerImage& state = at(image);
+  state.blocked = true;
+  state.block_begin = at_us;
+  state.block_reason = reason;
+  state.cause = 0;  // only deliveries *during* this block count as the cause
+}
+
+void Recorder::on_block_end(int image, double at_us) {
+  PerImage& state = at(image);
+  if (!state.blocked) {
+    return;
+  }
+  state.blocked = false;
+  Span span;
+  span.begin = state.block_begin;
+  span.end = at_us;
+  span.parent = state.cause;
+  span.image = image;
+  span.kind = SpanKind::kBlocked;
+  span.blame = state.blame_stack.empty() ? Blame::kOther
+                                         : state.blame_stack.back();
+  span.label = state.block_reason;
+  state.cause = 0;
+  push_span(state.track, config_.max_image_track_bytes, span, &state.metrics);
+  state.metrics.hists[static_cast<std::size_t>(Hist::kBlockedTime)].add(
+      at_us - span.begin);
+}
+
+void Recorder::push_blame(int image, Blame blame) {
+  at(image).blame_stack.push_back(blame);
+}
+
+void Recorder::pop_blame(int image) {
+  PerImage& state = at(image);
+  CAF2_REQUIRE(!state.blame_stack.empty(),
+               "obs::Recorder: unbalanced blame scope pop");
+  state.blame_stack.pop_back();
+}
+
+bool Recorder::blame_empty(int image) const {
+  return at(image).blame_stack.empty();
+}
+
+void Recorder::op_span(int image, SpanKind kind, double begin, double end,
+                       std::uint64_t a, std::uint64_t b, int peer,
+                       const char* label) {
+  PerImage& state = at(image);
+  Span span;
+  span.begin = begin;
+  span.end = end;
+  span.a = a;
+  span.b = b;
+  span.image = image;
+  span.peer = peer;
+  span.kind = kind;
+  span.blame = Blame::kCompute;
+  span.label = label;
+  push_span(state.track, config_.max_image_track_bytes, span, &state.metrics);
+}
+
+std::uint64_t Recorder::flight_span(int source, int dest, double begin,
+                                    double end, std::uint64_t bytes) {
+  Span span;
+  span.begin = begin;
+  span.end = end;
+  span.a = bytes;
+  span.image = source;
+  span.peer = dest;
+  span.kind = SpanKind::kFlight;
+  span.blame = Blame::kNetwork;
+  return push_span(net_track_, config_.max_net_track_bytes, span, nullptr);
+}
+
+void Recorder::retransmit_span(int image, int peer, double begin, double end) {
+  Span span;
+  span.begin = begin;
+  span.end = end;
+  span.image = image;
+  span.peer = peer;
+  span.kind = SpanKind::kRetransmitDelay;
+  span.blame = Blame::kNetwork;
+  push_span(net_track_, config_.max_net_track_bytes, span, nullptr);
+}
+
+void Recorder::note_cause(int image, std::uint64_t span_id) {
+  PerImage& state = at(image);
+  if (state.blocked) {
+    state.cause = span_id;
+  }
+}
+
+void Recorder::add(int image, Counter c, std::uint64_t v) {
+  at(image).metrics.counters[static_cast<std::size_t>(c)] += v;
+}
+
+void Recorder::maxed(int image, Counter c, std::uint64_t v) {
+  std::uint64_t& slot = at(image).metrics.counters[static_cast<std::size_t>(c)];
+  slot = std::max(slot, v);
+}
+
+void Recorder::observe(int image, Hist h, double us) {
+  at(image).metrics.hists[static_cast<std::size_t>(h)].add(us);
+}
+
+Capture Recorder::take(double end_us, ExecBackend backend) {
+  Capture capture;
+  capture.config = config_;
+  capture.images = images();
+  capture.end_us = end_us;
+  capture.backend = backend;
+  capture.tracks.reserve(images_.size() + 1);
+  capture.metrics.reserve(images_.size());
+  for (PerImage& state : images_) {
+    capture.tracks.push_back(std::move(state.track));
+    capture.metrics.push_back(state.metrics);
+    state.track = Track{};
+    state.metrics = Metrics{};
+  }
+  capture.tracks.push_back(std::move(net_track_));
+  net_track_ = Track{};
+  return capture;
+}
+
+}  // namespace caf2::obs

@@ -918,9 +918,23 @@ void barrier_async(const Team& team, CollOptions options) {
 }
 
 void team_barrier(const Team& team) {
-  Event done;
-  barrier_async(team, {.local_done = done.handle()});
-  done.wait();
+  rt::Image& image = rt::Image::current();
+  obs::Recorder* const rec = image.runtime().observer();
+  const double obs_begin =
+      rec != nullptr ? image.runtime().engine().now() : 0.0;
+  {
+    // Scope the completion wait so it is not misclassified as event-wait
+    // time: a barrier wait blocked on the wire lands in the network bucket,
+    // everything else in "other".
+    obs::BlameScope blame(rec, image.rank(), obs::Blame::kOther);
+    Event done;
+    barrier_async(team, {.local_done = done.handle()});
+    done.wait();
+  }
+  if (rec != nullptr) {
+    rec->op_span(image.rank(), obs::SpanKind::kCollective, obs_begin,
+                 image.runtime().engine().now(), 0, 0, -1, "barrier");
+  }
 }
 
 }  // namespace caf2

@@ -130,6 +130,10 @@ void start_put(Image& image, const CopyDesc& d, rt::ImplicitOpPtr op,
 
   Image* img = &image;
   const RemoteEvent src_done = d.src_done;
+  obs::Recorder* const rec = image.runtime().observer();
+  const double obs_begin =
+      rec != nullptr ? image.runtime().engine().now() : 0.0;
+  const int dst_image = d.dst_image;
   net::SendCallbacks callbacks;
   callbacks.on_staged = [img, op, src_done] {
     if (op) {
@@ -138,9 +142,13 @@ void start_put(Image& image, const CopyDesc& d, rt::ImplicitOpPtr op,
     post_done(*img, src_done);
     img->runtime().engine().unblock(img->rank());
   };
-  callbacks.on_acked = [img, op] {
+  callbacks.on_acked = [img, op, rec, obs_begin, bytes, dst_image] {
     if (op) {
       op->op_complete = true;
+    }
+    if (rec != nullptr) {
+      rec->op_span(img->rank(), obs::SpanKind::kPut, obs_begin,
+                   img->runtime().engine().now(), bytes, 0, dst_image);
     }
     img->runtime().engine().unblock(img->rank());
   };
@@ -156,14 +164,22 @@ void start_get(Image& image, const CopyDesc& d, rt::ImplicitOpPtr op,
   void* dst = d.dst_local;
   const std::uint64_t bytes = d.bytes;
   const RemoteEvent dst_done = d.dst_done;
+  obs::Recorder* const rec = image.runtime().observer();
+  const double obs_begin =
+      rec != nullptr ? image.runtime().engine().now() : 0.0;
+  const int src_image = d.src_image;
   const std::uint64_t sink_id =
-      image.stash_get([img, dst, bytes, op, dst_done](
-                          std::span<const std::uint8_t> data) {
+      image.stash_get([img, dst, bytes, op, dst_done, rec, obs_begin,
+                       src_image](std::span<const std::uint8_t> data) {
         CAF2_ASSERT(data.size() == bytes, "get response size mismatch");
         std::memcpy(dst, data.data(), data.size());
         if (op) {
           op->data_complete = true;
           op->op_complete = true;
+        }
+        if (rec != nullptr) {
+          rec->op_span(img->rank(), obs::SpanKind::kGet, obs_begin,
+                       img->runtime().engine().now(), bytes, 0, src_image);
         }
         post_done(*img, dst_done);
         img->runtime().engine().unblock(img->rank());

@@ -53,6 +53,10 @@ void spawn_bytes(int target, TrampolineFn fn,
                                  "spawn");
   }
   Image* img = &image;
+  obs::Recorder* const rec = image.runtime().observer();
+  const double obs_begin =
+      rec != nullptr ? image.runtime().engine().now() : 0.0;
+  const std::uint64_t payload_bytes = message.payload.size();
   net::SendCallbacks callbacks;
   callbacks.on_staged = [img, op] {
     if (op) {
@@ -60,9 +64,13 @@ void spawn_bytes(int target, TrampolineFn fn,
     }
     img->runtime().engine().unblock(img->rank());
   };
-  callbacks.on_acked = [img, op] {
+  callbacks.on_acked = [img, op, rec, obs_begin, payload_bytes, target] {
     if (op) {
       op->op_complete = true;
+    }
+    if (rec != nullptr) {
+      rec->op_span(img->rank(), obs::SpanKind::kSpawn, obs_begin,
+                   img->runtime().engine().now(), payload_bytes, 0, target);
     }
     img->runtime().engine().unblock(img->rank());
   };

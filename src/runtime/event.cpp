@@ -42,9 +42,18 @@ void Event::notify() {
   // notification becomes visible; operations *after* the notify are free to
   // start before it.
   rt::Image& image = rt::Image::current();
+  obs::Recorder* const rec = image.runtime().observer();
+  const double obs_begin =
+      rec != nullptr ? image.runtime().engine().now() : 0.0;
   auto& scope = image.cofence_tracker().current();
   image.wait_for([&scope] { return scope.op_complete_all(); },
                  "event_notify release");
+  if (rec != nullptr) {
+    // The release wait keeps the enclosing blame context: an un-scoped wait
+    // released by an ack is operation completion, i.e. network time.
+    rec->op_span(image.rank(), obs::SpanKind::kEventNotify, obs_begin,
+                 image.runtime().engine().now());
+  }
   post();
 }
 
@@ -54,7 +63,22 @@ void Event::wait_many(std::uint64_t count) {
   rt::Image& image = rt::Image::current();
   CAF2_REQUIRE(owner_ == &image,
                "event_wait must be called by the owning image");
-  image.wait_for([this, count] { return count_ >= count; }, "event_wait");
+  obs::Recorder* const rec = image.runtime().observer();
+  const double obs_begin =
+      rec != nullptr ? image.runtime().engine().now() : 0.0;
+  {
+    // Classify only *top-level* event waits as event-wait time: waits inside
+    // another construct's scope (finish detection waves, collective phases)
+    // stay blamed on that construct.
+    obs::BlameScope scope(
+        rec != nullptr && rec->blame_empty(image.rank()) ? rec : nullptr,
+        image.rank(), obs::Blame::kEventWait);
+    image.wait_for([this, count] { return count_ >= count; }, "event_wait");
+  }
+  if (rec != nullptr) {
+    rec->op_span(image.rank(), obs::SpanKind::kEventWait, obs_begin,
+                 image.runtime().engine().now(), count);
+  }
   count_ -= count;
 }
 
@@ -106,9 +130,16 @@ void install_event_handlers(Runtime& runtime) {
 
 void notify_event(const RemoteEvent& event) {
   rt::Image& image = rt::Image::current();
+  obs::Recorder* const rec = image.runtime().observer();
+  const double obs_begin =
+      rec != nullptr ? image.runtime().engine().now() : 0.0;
   auto& scope = image.cofence_tracker().current();
   image.wait_for([&scope] { return scope.op_complete_all(); },
                  "event_notify release");
+  if (rec != nullptr) {
+    rec->op_span(image.rank(), obs::SpanKind::kEventNotify, obs_begin,
+                 image.runtime().engine().now(), 0, 0, event.image);
+  }
   rt::post_event_raw(image.runtime(), image.rank(), event);
 }
 

@@ -14,6 +14,19 @@ void Image::execute(net::Message&& message) {
   const net::MessageHeader header = message.header;  // copy: payload moves on
   const HandlerFn& handler = runtime_.handler(header.handler);
 
+  obs::Recorder* const rec = runtime_.observer();
+  const double obs_begin = rec != nullptr ? runtime_.engine().now() : 0.0;
+  const auto record_handler = [&] {
+    if (rec == nullptr) {
+      return;
+    }
+    const double now = runtime_.engine().now();
+    rec->op_span(rank_, obs::SpanKind::kHandler, obs_begin, now,
+                 header.handler, 0, header.source);
+    rec->add(rank_, obs::Counter::kHandlersRun);
+    rec->observe(rank_, obs::Hist::kHandlerTime, now - obs_begin);
+  };
+
   const double handler_cost = runtime_.options().net.handler_cost_us;
   if (handler_cost > 0.0) {
     runtime_.engine().advance(handler_cost);
@@ -21,6 +34,7 @@ void Image::execute(net::Message&& message) {
 
   if (!header.tracked) {
     handler(*this, std::move(message));
+    record_handler();
     return;
   }
 
@@ -49,6 +63,7 @@ void Image::execute(net::Message&& message) {
   // Re-look-up: the handler may have created finish states (early-arriving
   // messages for other scopes), which can rehash the map.
   finish_state(header.finish).count_completed(header.from_odd_epoch);
+  record_handler();
   // Completion may satisfy a teammate-visible predicate only through
   // counters on this image; wake ourselves so an enclosing quiescence wait
   // re-evaluates.

@@ -66,6 +66,12 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
                                           std::move(engine_options));
   network_ = std::make_unique<net::Network>(*engine_, options_.net,
                                             SplitMix64(options_.seed).child(0));
+  if (options_.obs.enabled) {
+    observer_ = std::make_unique<obs::Recorder>(options_.num_images,
+                                                options_.obs);
+    engine_->set_observer(observer_.get());
+    network_->set_observer(observer_.get());
+  }
   engine_->set_diagnostics([this] { return watchdog_report(); });
   SplitMix64 seeder(options_.seed);
   images_.reserve(static_cast<std::size_t>(options_.num_images));
@@ -76,6 +82,14 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
 }
 
 Runtime::~Runtime() = default;
+
+std::shared_ptr<const obs::Capture> Runtime::take_capture() {
+  if (observer_ == nullptr) {
+    return nullptr;
+  }
+  return std::make_shared<const obs::Capture>(
+      observer_->take(engine_->now(), engine_->backend()));
+}
 
 void Runtime::set_handler(net::HandlerId id, HandlerFn fn) {
   handlers_[id] = std::move(fn);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "runtime/image.hpp"
 #include "sim/engine.hpp"
 #include "support/config.hpp"
@@ -69,6 +70,16 @@ class Runtime {
   Image& image(int rank) { return *images_[static_cast<std::size_t>(rank)]; }
   int num_images() const { return static_cast<int>(images_.size()); }
 
+  /// The observability recorder, or nullptr when ObsConfig::enabled is off.
+  /// Instrumentation sites in runtime/, ops/, and kernels/ test this pointer
+  /// — that single branch is their whole disabled-mode cost.
+  obs::Recorder* observer() { return observer_.get(); }
+
+  /// Snapshot everything recorded (spans, metrics, drop counters) into an
+  /// immutable Capture; nullptr when obs is disabled. Normally called once,
+  /// after run(), by caf2::run_stats().
+  std::shared_ptr<const obs::Capture> take_capture();
+
   /// Install or replace an active-message handler.
   void set_handler(net::HandlerId id, HandlerFn fn);
   const HandlerFn& handler(net::HandlerId id) const;
@@ -83,6 +94,7 @@ class Runtime {
   RuntimeOptions options_;
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<net::Network> network_;
+  std::unique_ptr<obs::Recorder> observer_;
   std::vector<std::unique_ptr<Image>> images_;
   std::map<net::HandlerId, HandlerFn> handlers_;
   std::map<std::pair<int, std::uint32_t>, SplitOp> splits_;

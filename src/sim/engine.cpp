@@ -5,7 +5,28 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace caf2::sim {
+
+ExecBackend resolve_backend(ExecBackend configured) {
+  ExecBackend backend = configured;
+  if (const char* env = std::getenv("CAF2_SIM_BACKEND");
+      env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "threads") == 0) {
+      backend = ExecBackend::kThreads;
+    } else if (std::strcmp(env, "fibers") == 0) {
+      backend = ExecBackend::kFibers;
+    }
+    // Unknown values fall through to whatever was configured.
+  }
+  if (backend == ExecBackend::kAuto) {
+    backend = fibers_supported() ? ExecBackend::kFibers : ExecBackend::kThreads;
+  } else if (backend == ExecBackend::kFibers && !fibers_supported()) {
+    backend = ExecBackend::kThreads;  // TSan builds: silent fallback
+  }
+  return backend;
+}
 
 namespace {
 /// The calling context's identity. Participant threads own theirs for the
@@ -32,21 +53,7 @@ Engine::Engine(int participants, EngineOptions options)
       env != nullptr && *env != '\0' && *env != '0') {
     fastpath_ = false;
   }
-  backend_ = options_.backend;
-  if (const char* env = std::getenv("CAF2_SIM_BACKEND");
-      env != nullptr && *env != '\0') {
-    if (std::strcmp(env, "threads") == 0) {
-      backend_ = ExecBackend::kThreads;
-    } else if (std::strcmp(env, "fibers") == 0) {
-      backend_ = ExecBackend::kFibers;
-    }
-    // Unknown values fall through to whatever was configured.
-  }
-  if (backend_ == ExecBackend::kAuto) {
-    backend_ = fibers_supported() ? ExecBackend::kFibers : ExecBackend::kThreads;
-  } else if (backend_ == ExecBackend::kFibers && !fibers_supported()) {
-    backend_ = ExecBackend::kThreads;  // TSan builds: silent fallback
-  }
+  backend_ = resolve_backend(options_.backend);
   participants_.reserve(static_cast<std::size_t>(participants));
   for (int i = 0; i < participants; ++i) {
     auto participant = std::make_unique<Participant>();
@@ -62,6 +69,11 @@ Engine::~Engine() {
 
 void Engine::record(TraceKind kind, int participant) {
   if (!options_.record_trace) {
+    return;
+  }
+  if (options_.max_trace_entries != 0 &&
+      trace_.size() >= options_.max_trace_entries) {
+    ++trace_dropped_;
     return;
   }
   trace_.push_back(TraceEntry{trace_.size(),
@@ -322,6 +334,10 @@ void Engine::advance(double dt) {
        dispatched_.load(std::memory_order_relaxed) < options_.max_events)) {
     record(TraceKind::kAdvance, self.id);
     const double target = now_us_.load(std::memory_order_relaxed) + dt;
+    if (observer_ != nullptr && dt > 0.0) {
+      observer_->on_compute(self.id,
+                            now_us_.load(std::memory_order_relaxed), target);
+    }
     ++next_seq_;  // the sequence number the slow path's wake would consume
     dispatched_.fetch_add(1, std::memory_order_relaxed);
     now_us_.store(target, std::memory_order_relaxed);
@@ -332,6 +348,10 @@ void Engine::advance(double dt) {
   auto lock = lock_gate();
   record(TraceKind::kAdvance, self.id);
   const double target = now_us_.load(std::memory_order_relaxed) + dt;
+  if (observer_ != nullptr && dt > 0.0) {
+    observer_->on_compute(self.id, now_us_.load(std::memory_order_relaxed),
+                          target);
+  }
   heap_.push(Event{target, next_seq_++, self.id, kNoSlot});
   // Stray wakes (e.g. an unblock() from a completion callback) can activate
   // this participant before its scheduled resume time; modeled computation
@@ -349,9 +369,18 @@ void Engine::block(const char* reason) {
   auto lock = lock_gate();
   CAF2_ASSERT(self.active, "block() caller does not hold the token");
   record(TraceKind::kBlock, self.id);
+  if (observer_ != nullptr) {
+    observer_->on_block_begin(self.id,
+                              now_us_.load(std::memory_order_relaxed), reason);
+  }
   self.state = PState::kWaiting;
   self.block_reason = reason;
   switch_out(lock, self);
+  // switch_out throws on engine failure, harmlessly abandoning the pending
+  // blocked span.
+  if (observer_ != nullptr) {
+    observer_->on_block_end(self.id, now_us_.load(std::memory_order_relaxed));
+  }
 }
 
 void Engine::unblock(int participant) {

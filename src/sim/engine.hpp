@@ -73,9 +73,20 @@
 #include "support/config.hpp"
 #include "support/error.hpp"
 
+namespace caf2::obs {
+class Recorder;
+}
+
 namespace caf2::sim {
 
 class Engine;
+
+/// The execution backend a given configuration actually runs: applies the
+/// CAF2_SIM_BACKEND environment override, resolves kAuto, and falls back to
+/// threads where fibers are unsupported (ThreadSanitizer builds). This is
+/// exactly the resolution the Engine constructor performs; exposed so tools
+/// (bench metadata stamps) can report the backend without building an engine.
+ExecBackend resolve_backend(ExecBackend configured);
 
 /// Everything that makes the calling context "participant N of engine E".
 /// With the thread backend each participant thread simply owns one of these
@@ -96,6 +107,12 @@ struct EngineOptions {
   bool record_trace = false;
   std::uint64_t max_events = 0;  ///< 0 = unlimited
   std::string label = "sim";
+
+  /// Upper bound on recorded TraceEntry records (0 = unlimited). Entries past
+  /// the cap are counted (Engine::trace_dropped()) and discarded, so
+  /// record_trace on a long 1024-image run cannot grow without bound. The
+  /// default bounds the trace at ~128 MiB.
+  std::uint64_t max_trace_entries = std::uint64_t{1} << 22;
 
   /// Enable the self-wake fast path (see file comment). The environment
   /// variable CAF2_SIM_NO_FASTPATH=1 overrides this to false; results are
@@ -235,6 +252,15 @@ class Engine {
   /// Recorded trace (empty unless EngineOptions::record_trace).
   const std::vector<TraceEntry>& trace() const { return trace_; }
 
+  /// Trace entries discarded by EngineOptions::max_trace_entries.
+  std::uint64_t trace_dropped() const { return trace_dropped_; }
+
+  /// Attach an observability recorder (nullptr detaches; see obs/obs.hpp).
+  /// Hooks fire from advance() and block(); a null observer costs one branch.
+  /// Recording never schedules events, so an observed run's event schedule,
+  /// trace, and stats are bit-identical to an unobserved one.
+  void set_observer(obs::Recorder* observer) { observer_ = observer; }
+
  private:
   enum class PState : std::uint8_t { kIdle, kRunnable, kWaiting, kFinished };
 
@@ -363,6 +389,10 @@ class Engine {
   bool running_ = false;
 
   std::vector<TraceEntry> trace_;
+  // Written only by the context that owns the scheduler (token holder or
+  // dispatcher), like trace_ itself.
+  std::uint64_t trace_dropped_ = 0;
+  obs::Recorder* observer_ = nullptr;
 };
 
 /// RAII helper used in tests to run a closure body on every participant of a

@@ -58,8 +58,9 @@ bool write_bench_json(
     std::fprintf(stderr, "bench_io: cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n",
-               json_escape(benchmark).c_str());
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"%s\",\n  \"schema_version\": %d,\n",
+               json_escape(benchmark).c_str(), kBenchSchemaVersion);
   std::fputs("  \"meta\": {", f);
   for (std::size_t i = 0; i < meta.size(); ++i) {
     std::fprintf(f, "%s\"%s\": \"%s\"", i == 0 ? "" : ", ",

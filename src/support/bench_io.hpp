@@ -16,6 +16,10 @@
 
 namespace caf2 {
 
+/// Version stamp written into every BENCH_*.json ("schema_version"). Bump
+/// when the document shape changes so downstream tooling can dispatch.
+inline constexpr int kBenchSchemaVersion = 1;
+
 /// Stopwatch over std::chrono::steady_clock (real time, not virtual time).
 class WallTimer {
  public:

@@ -205,6 +205,30 @@ struct NetworkParams {
   static NetworkParams gemini_like();
 };
 
+/// --- observability -----------------------------------------------------------
+
+/// Configuration of the caf2::obs subsystem (src/obs/, DESIGN.md §4.9).
+///
+/// Disabled by default, and *zero-cost* when disabled: every hook in the
+/// engine, network, and runtime is a single null-pointer test, no span or
+/// metric storage is allocated, and the event schedule is untouched. Enabled,
+/// the recorder only ever appends to per-image buffers — it never schedules
+/// events — so traces, event counts, and RunStats of an instrumented run are
+/// bit-identical to an uninstrumented one.
+struct ObsConfig {
+  /// Master switch. When false nothing is recorded and RunStats::obs is null.
+  bool enabled = false;
+
+  /// Hard memory cap per image-track span buffer (bytes). Spans past the cap
+  /// are counted (Capture::Track::dropped, Counter::kSpansDropped) and
+  /// discarded, so 1024-image sweeps stay tractable.
+  std::size_t max_image_track_bytes = std::size_t{1} << 20;
+
+  /// Hard memory cap of the network-track span buffer (bytes). The network
+  /// track sees one span per delivered message, so it gets a larger default.
+  std::size_t max_net_track_bytes = std::size_t{8} << 20;
+};
+
 /// Complete configuration of a simulated SPMD run.
 struct RuntimeOptions {
   /// Number of process images (the paper's "cores").
@@ -245,6 +269,10 @@ struct RuntimeOptions {
 
   /// Human-readable label used in error messages and traces.
   std::string label = "caf2";
+
+  /// Observability (op-level spans, metrics, blame analysis; src/obs/).
+  /// Disabled by default; enabling it does not perturb the event schedule.
+  ObsConfig obs{};
 };
 
 }  // namespace caf2
