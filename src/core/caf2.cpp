@@ -44,4 +44,8 @@ void compute(double us) {
 
 Xoshiro256ss& image_rng() { return rt::Image::current().rng(); }
 
+obs::Postmortem dump_postmortem() {
+  return rt::Image::current().runtime().dump_postmortem();
+}
+
 }  // namespace caf2

@@ -38,6 +38,7 @@
 
 namespace caf2::obs {
 struct Capture;
+struct Postmortem;
 }  // namespace caf2::obs
 
 namespace caf2 {
@@ -89,5 +90,11 @@ void compute(double us);
 
 /// Per-image deterministic random generator (seeded from RuntimeOptions).
 Xoshiro256ss& image_rng();
+
+/// On-demand structured postmortem of the current runtime state (wait-for
+/// graph, finish accounting, recent flight-recorder events, network state) —
+/// no failure required. Must be called from an image context. Render with
+/// obs::to_text(), obs::to_json(), or obs::wait_graph_to_dot().
+obs::Postmortem dump_postmortem();
 
 }  // namespace caf2

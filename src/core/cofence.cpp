@@ -16,7 +16,9 @@ void cofence(Pass downward, Pass upward) {
     obs::BlameScope blame(rec, image.rank(), obs::Blame::kCofenceWait);
     image.wait_for(
         [&scope, downward] { return scope.data_complete_for(downward); },
-        "cofence");
+        "cofence",
+        obs::ResourceId{obs::ResourceKind::kOpCompletion, image.rank(), 0,
+                        0});
   }
   if (rec != nullptr) {
     rec->op_span(image.rank(), obs::SpanKind::kCofence, obs_begin,

@@ -11,6 +11,12 @@ namespace caf2::core {
 
 namespace {
 using rt::Image;
+
+/// Wait-for-graph identity of a finish scope's termination.
+obs::ResourceId finish_resource(const net::FinishKey& key) {
+  return obs::ResourceId{obs::ResourceKind::kFinish, -1,
+                         static_cast<std::uint64_t>(key.team), key.seq};
+}
 }  // namespace
 
 int detect_epoch(rt::Image& image, const Team& team,
@@ -27,13 +33,18 @@ int detect_epoch(rt::Image& image, const Team& team,
       // acknowledgement still carries odd parity, so an even-only check
       // could block forever on a count the odd epoch will receive.
       image.wait_for([&state] { return state.quiesced_totals(); },
-                     "finish quiescence");
+                     "finish quiescence", finish_resource(key));
     }
     state.enter_allreduce();  // proceed into the odd epoch
     const std::int64_t deficit = state.even_deficit();
     const std::int64_t total =
         allreduce<std::int64_t>(team, deficit, RedOp::kSum);
     state.exit_allreduce();  // fold odd into even; proceed into even epoch
+    if (obs::FlightRecorder* fr = image.runtime().flight_recorder()) {
+      fr->record(image.rank(), image.runtime().engine().now(),
+                 obs::FrKind::kEpochFold, -1,
+                 static_cast<std::uint64_t>(key.team), key.seq);
+    }
     ++rounds;
     if (total == 0) {
       return rounds;
@@ -70,7 +81,7 @@ int detect_four_counter(rt::Image& image, const Team& team,
     // Let in-flight work land before the next wave; otherwise waves can
     // spin without the cut changing.
     image.wait_for([&state] { return state.quiesced_totals(); },
-                   "four-counter wave");
+                   "four-counter wave", finish_resource(key));
   }
 }
 
@@ -211,7 +222,7 @@ int detect_centralized(rt::Image& image, const Team& team,
     // A worker reports its vector once it has locally quiesced (X10 workers
     // report on local quiescence of their task pools).
     image.wait_for([&state] { return state.quiesced_totals(); },
-                   "centralized quiescence");
+                   "centralized quiescence", finish_resource(key));
     send_vector(image, team, key, round);
     ++rounds;
     // Re-resolve the scope each wave: handlers may rehash the map while we
@@ -221,7 +232,7 @@ int detect_centralized(rt::Image& image, const Team& team,
           CentralScope& scope = central_map(image)[key];
           return scope.verdict_round >= round;
         },
-        "centralized verdict");
+        "centralized verdict", finish_resource(key));
     if (central_map(image)[key].verdict_done) {
       central_map(image).erase(key);
       return rounds;

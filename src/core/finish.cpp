@@ -41,7 +41,16 @@ void end_finish(rt::Image& image, const Team& team, const net::FinishKey& key,
   int rounds = 0;
   {
     // Every wait inside the detector — allreduce event waits, quiescence
-    // drains — is finish termination-detection time.
+    // drains — is finish termination-detection time. The detector's actual
+    // blocking happens in nested event/quiescence waits, so also keep the
+    // finish scope itself on the wait stack for the whole detection: a
+    // postmortem taken mid-detection names the scope, not just the innermost
+    // event.
+    rt::WaitFrameScope wait_frame(
+        image,
+        obs::ResourceId{obs::ResourceKind::kFinish, -1,
+                        static_cast<std::uint64_t>(key.team), key.seq},
+        "finish detection");
     obs::BlameScope blame(rec, image.rank(), obs::Blame::kFinishWait);
     switch (options.detector) {
       case DetectorKind::kEpoch:

@@ -257,7 +257,9 @@ UtsStats uts_run(const Team& team, const UtsConfig& config) {
                 [&state] {
                   return !state.pending_steal || !state.queue.empty();
                 },
-                "uts steal");
+                "uts steal",
+                obs::ResourceId{obs::ResourceKind::kSteal,
+                                team.world_rank(victim), 0, 0});
           }
           if (!state.queue.empty()) {
             drain();

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 
 namespace caf2::net {
 
@@ -73,6 +75,11 @@ void Network::account_send(const Message& message) {
   if (observer_ != nullptr) {
     observer_->add(message.header.source, obs::Counter::kMessagesSent);
   }
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->record(message.header.source, engine_.now(),
+                             obs::FrKind::kSend, message.header.dest, bytes,
+                             static_cast<std::uint64_t>(message.header.handler));
+  }
 }
 
 void Network::run_deliver_phase(Flight flight) {
@@ -81,8 +88,14 @@ void Network::run_deliver_phase(Flight flight) {
   const std::size_t bytes = flight.message.size_bytes();
   traffic_[dest].messages_in += 1;
   traffic_[dest].bytes_in += bytes;
+  const std::uint64_t handler =
+      static_cast<std::uint64_t>(flight.message.header.handler);
   mailboxes_[dest].push(std::move(flight.message));
   engine_.unblock(static_cast<int>(dest));
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->record(static_cast<int>(dest), engine_.now(),
+                             obs::FrKind::kDeliver, source, bytes, handler);
+  }
   std::uint64_t span = 0;
   if (observer_ != nullptr) {
     const double now = engine_.now();
@@ -328,14 +341,33 @@ void Network::start_attempt(std::uint64_t id) {
   flight.attempts += 1;
 
   const AttemptFaults faults = roll_faults(flight);
+  const int fault_source = flight.message->header.source;
   if (faults.drop) {
     fault_stats_.deliveries_dropped += 1;
+    if (flight_recorder_ != nullptr) {
+      flight_recorder_->record(fault_source, engine_.now(),
+                               obs::FrKind::kFaultDrop,
+                               flight.message->header.dest, flight.seq,
+                               static_cast<std::uint64_t>(flight.attempts));
+    }
   }
   if (faults.duplicate) {
     fault_stats_.deliveries_duplicated += 1;
+    if (flight_recorder_ != nullptr) {
+      flight_recorder_->record(fault_source, engine_.now(),
+                               obs::FrKind::kFaultDuplicate,
+                               flight.message->header.dest, flight.seq,
+                               static_cast<std::uint64_t>(flight.attempts));
+    }
   }
   if (faults.extra_delay_us > 0.0) {
     fault_stats_.deliveries_delayed += 1;
+    if (flight_recorder_ != nullptr) {
+      flight_recorder_->record(fault_source, engine_.now(),
+                               obs::FrKind::kFaultDelay,
+                               flight.message->header.dest, flight.seq,
+                               static_cast<std::uint64_t>(flight.attempts));
+    }
   }
 
   // The first attempt is launched at staging time (injection already
@@ -382,6 +414,12 @@ void Network::deliver_attempt(const std::shared_ptr<const Message>& message,
     traffic_[dest].bytes_in += message->size_bytes();
     mailboxes_[dest].push(*message);
     engine_.unblock(header.dest);
+    if (flight_recorder_ != nullptr) {
+      flight_recorder_->record(header.dest, engine_.now(),
+                               obs::FrKind::kDeliver, header.source,
+                               message->size_bytes(),
+                               static_cast<std::uint64_t>(header.handler));
+    }
     if (observer_ != nullptr) {
       const double now = engine_.now();
       double begin = now;
@@ -414,6 +452,10 @@ void Network::deliver_attempt(const std::shared_ptr<const Message>& message,
   // from a lost ack without redelivering the message.
   if (ack_dropped) {
     fault_stats_.acks_dropped += 1;
+    if (flight_recorder_ != nullptr) {
+      flight_recorder_->record(header.source, engine_.now(),
+                               obs::FrKind::kFaultAckLoss, header.dest, seq, 0);
+    }
     return;
   }
   engine_.post(engine_.now() + params_.effective_ack_latency_us(),
@@ -424,6 +466,12 @@ void Network::handle_ack(std::uint64_t id) {
   auto it = inflight_.find(id);
   if (it == inflight_.end()) {
     return;  // duplicate or late ack of a completed flight
+  }
+  if (flight_recorder_ != nullptr) {
+    const MessageHeader& header = it->second.message->header;
+    flight_recorder_->record(header.source, engine_.now(), obs::FrKind::kAck,
+                             header.dest, it->second.seq,
+                             static_cast<std::uint64_t>(it->second.attempts));
   }
   if (observer_ != nullptr) {
     const ReliableFlight& flight = it->second;
@@ -461,13 +509,19 @@ void Network::on_retransmit_timer(std::uint64_t id, int attempt) {
        << flight.attempts << " attempts over "
        << engine_.now() - flight.first_sent_us << " us (retry cap "
        << params_.reliability.max_attempts << ")";
-    engine_.fail(os.str());
+    engine_.fail(os.str(), obs::FailKind::kRetryCap);
     return;
   }
   fault_stats_.retransmits += 1;
   if (observer_ != nullptr) {
     observer_->add(flight.message->header.source,
                    obs::Counter::kMessagesRetransmitted);
+  }
+  if (flight_recorder_ != nullptr) {
+    const MessageHeader& header = flight.message->header;
+    flight_recorder_->record(header.source, engine_.now(),
+                             obs::FrKind::kRetransmit, header.dest, flight.seq,
+                             static_cast<std::uint64_t>(flight.attempts));
   }
   flight.rto_us *= params_.reliability.backoff;
   start_attempt(id);
@@ -514,39 +568,36 @@ void Network::send_staged_reliable(
   });
 }
 
-std::string Network::describe_state() const {
-  std::ostringstream os;
-  os << "network: reliable delivery "
-     << (reliable_ ? "on" : "off");
-  if (!reliable_) {
-    os << "\n";
-    return os.str();
-  }
-  os << ", " << inflight_.size() << " in-flight message"
-     << (inflight_.size() == 1 ? "" : "s") << "\n";
-  constexpr std::size_t kMaxListed = 16;
-  std::size_t listed = 0;
+void Network::fill_postmortem(obs::PmNetwork& net) const {
+  net.present = true;
+  net.reliable = reliable_;
+  net.faults = fault_stats_;
+  net.inflight_total = inflight_.size();
+  net.inflight.clear();
   for (const auto& [id, flight] : inflight_) {
-    if (listed == kMaxListed) {
-      os << "  ... " << inflight_.size() - kMaxListed << " more\n";
+    if (net.inflight.size() == obs::kMaxListedFlights) {
       break;
     }
     const MessageHeader& header = flight.message->header;
-    os << "  flight " << header.source << "->" << header.dest << " seq "
-       << flight.seq << " attempt " << flight.attempts << "/"
-       << params_.reliability.max_attempts << " handler " << header.handler
-       << " " << flight.message->size_bytes() << " B first-sent t="
-       << flight.first_sent_us << " us rto " << flight.rto_us << " us\n";
-    ++listed;
+    obs::PmFlight pm;
+    pm.source = header.source;
+    pm.dest = header.dest;
+    pm.seq = flight.seq;
+    pm.ordinal = flight.ordinal;
+    pm.attempts = flight.attempts;
+    pm.max_attempts = params_.reliability.max_attempts;
+    pm.handler = header.handler;
+    pm.bytes = flight.message->size_bytes();
+    pm.first_sent_us = flight.first_sent_us;
+    pm.rto_us = flight.rto_us;
+    net.inflight.push_back(pm);
   }
-  os << "fault stats: drops=" << fault_stats_.deliveries_dropped
-     << " dups=" << fault_stats_.deliveries_duplicated
-     << " delays=" << fault_stats_.deliveries_delayed
-     << " ack_drops=" << fault_stats_.acks_dropped
-     << " retransmits=" << fault_stats_.retransmits
-     << " dups_suppressed=" << fault_stats_.duplicates_suppressed
-     << " scripted=" << fault_stats_.scripted_applied << "\n";
-  return os.str();
+}
+
+std::string Network::describe_state() const {
+  obs::PmNetwork net;
+  fill_postmortem(net);
+  return obs::network_section_text(net);
 }
 
 }  // namespace caf2::net

@@ -57,6 +57,8 @@
 
 namespace caf2::obs {
 class Recorder;
+class FlightRecorder;
+struct PmNetwork;
 }
 
 namespace caf2::net {
@@ -126,14 +128,27 @@ class Network {
   std::size_t inflight_reliable() const { return inflight_.size(); }
 
   /// Watchdog-report section: in-flight reliable messages (sender, receiver,
-  /// sequence number, attempts, age) plus the fault counters.
+  /// sequence number, attempts, age) plus the fault counters. Thin shim over
+  /// fill_postmortem() + obs::network_section_text().
   std::string describe_state() const;
+
+  /// Snapshot the network's postmortem section: reliability mode, in-flight
+  /// reliable messages (first obs::kMaxListedFlights of them), fault stats.
+  void fill_postmortem(obs::PmNetwork& net) const;
 
   /// Attach an observability recorder (nullptr detaches; see obs/obs.hpp).
   /// Deliveries and acks then record flight spans on the network track, note
   /// unblock causes, and bump message counters — without ever scheduling or
   /// reordering events, so the flight chains are unchanged.
   void set_observer(obs::Recorder* observer) { observer_ = observer; }
+
+  /// Attach the always-on flight recorder (nullptr detaches; see
+  /// obs/flight_recorder.hpp). Sends, deliveries, acks, retransmissions, and
+  /// injected faults then land in the per-image rings — plain ring stores,
+  /// never scheduling or reordering events.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
 
  private:
   struct Timing {
@@ -267,6 +282,7 @@ class Network {
   double max_extra_delay_us_ = 0.0;
   FaultStats fault_stats_;
   obs::Recorder* observer_ = nullptr;
+  obs::FlightRecorder* flight_recorder_ = nullptr;
 };
 
 }  // namespace caf2::net

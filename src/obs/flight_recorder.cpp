@@ -1,0 +1,66 @@
+#include "obs/flight_recorder.hpp"
+
+namespace caf2::obs {
+
+const char* to_string(FrKind kind) {
+  switch (kind) {
+    case FrKind::kSend:
+      return "send";
+    case FrKind::kDeliver:
+      return "deliver";
+    case FrKind::kAck:
+      return "ack";
+    case FrKind::kRetransmit:
+      return "retransmit";
+    case FrKind::kFaultDrop:
+      return "fault-drop";
+    case FrKind::kFaultDuplicate:
+      return "fault-duplicate";
+    case FrKind::kFaultDelay:
+      return "fault-delay";
+    case FrKind::kFaultAckLoss:
+      return "fault-ack-loss";
+    case FrKind::kWaitBegin:
+      return "wait-begin";
+    case FrKind::kWaitEnd:
+      return "wait-end";
+    case FrKind::kHandler:
+      return "handler";
+    case FrKind::kEpochOdd:
+      return "epoch-odd";
+    case FrKind::kEpochFold:
+      return "epoch-fold";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(int num_images,
+                               std::size_t entries_per_image) {
+  std::size_t capacity = 8;
+  while (capacity < entries_per_image) {
+    capacity <<= 1;
+  }
+  mask_ = capacity - 1;
+  rings_.resize(static_cast<std::size_t>(num_images < 0 ? 0 : num_images));
+  for (Ring& ring : rings_) {
+    ring.events.resize(capacity);
+  }
+}
+
+std::vector<FrEvent> FlightRecorder::recent(int image,
+                                            std::size_t max_n) const {
+  const Ring& ring = rings_[static_cast<std::size_t>(image)];
+  const std::uint64_t capacity = mask_ + 1;
+  std::uint64_t count = ring.total < capacity ? ring.total : capacity;
+  if (count > max_n) {
+    count = max_n;
+  }
+  std::vector<FrEvent> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = ring.total - count; i != ring.total; ++i) {
+    out.push_back(ring.events[i & mask_]);
+  }
+  return out;
+}
+
+}  // namespace caf2::obs

@@ -235,6 +235,11 @@ class Recorder {
   /// Move everything recorded so far into an immutable Capture.
   Capture take(double end_us, ExecBackend backend);
 
+  /// Copy everything recorded so far, leaving the recorder untouched. Used
+  /// by the postmortem collector: a failing run's blame summary must not
+  /// consume the capture a later take() would return.
+  Capture snapshot(double end_us, ExecBackend backend) const;
+
  private:
   struct PerImage {
     Track track;

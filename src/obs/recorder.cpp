@@ -264,6 +264,22 @@ void Recorder::observe(int image, Hist h, double us) {
   at(image).metrics.hists[static_cast<std::size_t>(h)].add(us);
 }
 
+Capture Recorder::snapshot(double end_us, ExecBackend backend) const {
+  Capture capture;
+  capture.config = config_;
+  capture.images = images();
+  capture.end_us = end_us;
+  capture.backend = backend;
+  capture.tracks.reserve(images_.size() + 1);
+  capture.metrics.reserve(images_.size());
+  for (const PerImage& state : images_) {
+    capture.tracks.push_back(state.track);
+    capture.metrics.push_back(state.metrics);
+  }
+  capture.tracks.push_back(net_track_);
+  return capture;
+}
+
 Capture Recorder::take(double end_us, ExecBackend backend) {
   Capture capture;
   capture.config = config_;

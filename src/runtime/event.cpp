@@ -47,7 +47,9 @@ void Event::notify() {
       rec != nullptr ? image.runtime().engine().now() : 0.0;
   auto& scope = image.cofence_tracker().current();
   image.wait_for([&scope] { return scope.op_complete_all(); },
-                 "event_notify release");
+                 "event_notify release",
+                 obs::ResourceId{obs::ResourceKind::kOpCompletion,
+                                 image.rank(), 0, 0});
   if (rec != nullptr) {
     // The release wait keeps the enclosing blame context: an un-scoped wait
     // released by an ack is operation completion, i.e. network time.
@@ -73,7 +75,9 @@ void Event::wait_many(std::uint64_t count) {
     obs::BlameScope scope(
         rec != nullptr && rec->blame_empty(image.rank()) ? rec : nullptr,
         image.rank(), obs::Blame::kEventWait);
-    image.wait_for([this, count] { return count_ >= count; }, "event_wait");
+    image.wait_for([this, count] { return count_ >= count; }, "event_wait",
+                   obs::ResourceId{obs::ResourceKind::kEvent, image.rank(),
+                                   id_, 0});
   }
   if (rec != nullptr) {
     rec->op_span(image.rank(), obs::SpanKind::kEventWait, obs_begin,
@@ -135,7 +139,9 @@ void notify_event(const RemoteEvent& event) {
       rec != nullptr ? image.runtime().engine().now() : 0.0;
   auto& scope = image.cofence_tracker().current();
   image.wait_for([&scope] { return scope.op_complete_all(); },
-                 "event_notify release");
+                 "event_notify release",
+                 obs::ResourceId{obs::ResourceKind::kOpCompletion,
+                                 image.rank(), 0, 0});
   if (rec != nullptr) {
     rec->op_span(image.rank(), obs::SpanKind::kEventNotify, obs_begin,
                  image.runtime().engine().now(), 0, 0, event.image);

@@ -54,6 +54,19 @@ void Image::erase_finish_state(const net::FinishKey& key) {
   finish_states_.erase(key);
 }
 
+bool Image::finish_scope_passed(const net::FinishKey& key) const {
+  const auto state = finish_states_.find(key);
+  if (state != finish_states_.end()) {
+    return state->second.terminated();
+  }
+  // No live state: passed iff this image already handed out that sequence
+  // number (next_finish_seq post-increments, so "entered seq s" leaves the
+  // counter at s + 1). A member that never reached the scope has not passed
+  // it — it could still enter and contribute.
+  const auto seq = finish_seqs_.find(key.team);
+  return seq != finish_seqs_.end() && seq->second > key.seq;
+}
+
 /// --- message send helpers ----------------------------------------------------
 
 net::MessageHeader Image::make_header(int dest_world, net::HandlerId handler,

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/postmortem.hpp"
 #include "runtime/coarray.hpp"
 #include "runtime/cofence_tracker.hpp"
 #include "runtime/event.hpp"
@@ -92,6 +93,34 @@ class Image {
   /// Block until \p pred holds, executing incoming messages while waiting.
   /// \p reason appears in deadlock diagnostics.
   void wait_for(const std::function<bool()>& pred, const char* reason);
+
+  /// Like wait_for(), but names the resource being waited on: the wait
+  /// appears on this image's wait stack (feeding the postmortem wait-for
+  /// graph) for its whole duration, and the flight recorder logs
+  /// wait-begin/wait-end around any actual blocking.
+  void wait_for(const std::function<bool()>& pred, const char* reason,
+                const obs::ResourceId& resource);
+
+  /// --- wait stack (postmortem wait-for graph) ------------------------------
+
+  /// Waits this image is currently inside, outermost first. Read by the
+  /// postmortem collector while this image is parked; safe, because the
+  /// engine runs one context at a time and collection happens under the
+  /// engine gate.
+  const std::vector<obs::WaitFrame>& wait_stack() const { return wait_stack_; }
+
+  /// Push/pop a frame without blocking through wait_for() — used by
+  /// constructs whose actual blocking happens in nested waits (e.g. a finish
+  /// scope's termination detection blocks inside allreduce event waits, but
+  /// the postmortem should name the finish scope too).
+  void push_wait_frame(const obs::ResourceId& resource, const char* reason);
+  void pop_wait_frame();
+
+  /// True when this image has provably passed finish scope \p key: either a
+  /// terminated state still exists, or the scope's sequence number was
+  /// handed out and no live state remains. Used by the postmortem collector
+  /// to exclude done members from a finish resource's satisfier set.
+  bool finish_scope_passed(const net::FinishKey& key) const;
 
   /// --- finish accounting ---------------------------------------------------
 
@@ -203,6 +232,9 @@ class Image {
   int rank_;
   Xoshiro256ss rng_;
 
+  // wait stack (postmortem wait-for graph)
+  std::vector<obs::WaitFrame> wait_stack_;
+
   // finish
   std::vector<net::FinishKey> finish_stack_;
   std::unordered_map<net::FinishKey, FinishState> finish_states_;
@@ -237,6 +269,23 @@ class Image {
   std::unordered_map<std::uint64_t,
                      std::function<void(std::span<const std::uint8_t>)>>
       get_sinks_;
+};
+
+/// RAII wait-stack frame (see Image::push_wait_frame).
+class WaitFrameScope {
+ public:
+  WaitFrameScope(Image& image, const obs::ResourceId& resource,
+                 const char* reason)
+      : image_(image) {
+    image_.push_wait_frame(resource, reason);
+  }
+  ~WaitFrameScope() { image_.pop_wait_frame(); }
+
+  WaitFrameScope(const WaitFrameScope&) = delete;
+  WaitFrameScope& operator=(const WaitFrameScope&) = delete;
+
+ private:
+  Image& image_;
 };
 
 }  // namespace caf2::rt

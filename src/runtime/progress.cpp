@@ -14,6 +14,12 @@ void Image::execute(net::Message&& message) {
   const net::MessageHeader header = message.header;  // copy: payload moves on
   const HandlerFn& handler = runtime_.handler(header.handler);
 
+  obs::FlightRecorder* const fr = runtime_.flight_recorder();
+  if (fr != nullptr) {
+    fr->record(rank_, runtime_.engine().now(), obs::FrKind::kHandler,
+               header.source, header.handler, 0);
+  }
+
   obs::Recorder* const rec = runtime_.observer();
   const double obs_begin = rec != nullptr ? runtime_.engine().now() : 0.0;
   const auto record_handler = [&] {
@@ -45,8 +51,15 @@ void Image::execute(net::Message&& message) {
   // cuts.
   {
     FinishState& state = finish_state(header.finish);
+    const bool was_odd = state.present_odd();
     state.on_receive_parity(header.from_odd_epoch);
     state.count_received(header.from_odd_epoch);
+    if (fr != nullptr && !was_odd && state.present_odd()) {
+      fr->record(rank_, runtime_.engine().now(), obs::FrKind::kEpochOdd,
+                 header.source,
+                 static_cast<std::uint64_t>(header.finish.team),
+                 header.finish.seq);
+    }
   }
 
   // The handler executes in the dynamic extent of the initiating finish:
@@ -78,20 +91,49 @@ void Image::progress() {
 }
 
 void Image::wait_for(const std::function<bool()>& pred, const char* reason) {
+  wait_for(pred, reason, obs::ResourceId{});
+}
+
+void Image::wait_for(const std::function<bool()>& pred, const char* reason,
+                     const obs::ResourceId& resource) {
   net::Mailbox& mail = runtime_.network().mailbox(rank_);
+  // The frame stays on the wait stack across nested handler execution, so a
+  // postmortem taken while a nested wait is parked still shows the outer
+  // resource. If the engine fails, the unwinding pops it (and skips the
+  // wait-end record — the wait never completed).
+  WaitFrameScope frame(*this, resource, reason);
+  obs::FlightRecorder* const fr = runtime_.flight_recorder();
+  bool blocked = false;
   for (;;) {
     if (pred()) {
-      return;
+      break;
     }
     progress();
     if (pred()) {
-      return;
+      break;
     }
     if (!mail.empty()) {
       continue;  // a nested handler left mail behind; keep draining
     }
+    if (fr != nullptr && !blocked) {
+      blocked = true;
+      fr->record(rank_, runtime_.engine().now(), obs::FrKind::kWaitBegin,
+                 resource.owner, resource.a, resource.b, reason);
+    }
     runtime_.engine().block(reason);
   }
+  if (fr != nullptr && blocked) {
+    fr->record(rank_, runtime_.engine().now(), obs::FrKind::kWaitEnd,
+               resource.owner, resource.a, resource.b, reason);
+  }
 }
+
+void Image::push_wait_frame(const obs::ResourceId& resource,
+                            const char* reason) {
+  wait_stack_.push_back(
+      obs::WaitFrame{resource, reason, runtime_.engine().now()});
+}
+
+void Image::pop_wait_frame() { wait_stack_.pop_back(); }
 
 }  // namespace caf2::rt

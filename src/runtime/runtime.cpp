@@ -1,8 +1,9 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <string_view>
 
+#include "obs/blame.hpp"
 #include "sim/participant.hpp"
 
 namespace caf2::rt {
@@ -72,7 +73,13 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
     engine_->set_observer(observer_.get());
     network_->set_observer(observer_.get());
   }
-  engine_->set_diagnostics([this] { return watchdog_report(); });
+  if (options_.obs.flight_recorder) {
+    flight_recorder_ = std::make_unique<obs::FlightRecorder>(
+        options_.num_images, options_.obs.flight_recorder_entries);
+    network_->set_flight_recorder(flight_recorder_.get());
+  }
+  engine_->set_postmortem_collector(
+      [this](obs::Postmortem& pm) { fill_postmortem(pm); });
   SplitMix64 seeder(options_.seed);
   images_.reserve(static_cast<std::size_t>(options_.num_images));
   for (int rank = 0; rank < options_.num_images; ++rank) {
@@ -125,16 +132,23 @@ void Runtime::run(const std::function<void()>& body) {
           }
         }
       } else {
-        image->wait_for([&] { return gate->arrived == gate->expected; },
-                        "exit rendezvous");
+        image->wait_for(
+            [&] { return gate->arrived == gate->expected; },
+            "exit rendezvous",
+            obs::ResourceId{obs::ResourceKind::kExitGate, -1, 0, 0});
       }
       set_current(nullptr, nullptr);
     } catch (const UsageError& e) {
       // Tag escaping exceptions with the faulting image's rank. Usage errors
-      // keep their type (callers assert on it); everything else is a runtime
+      // keep their type (callers assert on it); stall failures keep their
+      // type *and* their structured postmortem; everything else is a runtime
       // fault.
       set_current(nullptr, nullptr);
       throw UsageError("image " + std::to_string(id) + ": " + e.what());
+    } catch (const obs::StallError& e) {
+      set_current(nullptr, nullptr);
+      throw obs::StallError("image " + std::to_string(id) + ": " + e.what(),
+                            e.postmortem());
     } catch (const std::exception& e) {
       set_current(nullptr, nullptr);
       throw FatalError("image " + std::to_string(id) + ": " + e.what());
@@ -146,30 +160,180 @@ void Runtime::run(const std::function<void()>& body) {
   });
 }
 
-std::string Runtime::watchdog_report() {
-  std::ostringstream os;
-  for (int rank = 0; rank < num_images(); ++rank) {
-    Image& img = *images_[static_cast<std::size_t>(rank)];
-    os << "image " << rank << ": mailbox pending="
-       << network_->mailbox(rank).size()
-       << " cofence scopes=" << img.cofence_tracker().depth()
-       << " outstanding implicit ops="
-       << img.cofence_tracker().current().outstanding() << "\n";
-    for (const auto& [key, state] : img.finish_states()) {
-      const EpochCounters& even = state.even();
-      const EpochCounters& odd = state.odd();
-      os << "  finish (team " << key.team << ", seq " << key.seq << ")"
-         << (state.terminated() ? " terminated" : "")
-         << (state.present_odd() ? " odd-epoch" : " even-epoch")
-         << " rounds=" << state.rounds() << " even{sent=" << even.sent
-         << ", delivered=" << even.delivered << ", received=" << even.received
-         << ", completed=" << even.completed << "} odd{sent=" << odd.sent
-         << ", delivered=" << odd.delivered << ", received=" << odd.received
-         << ", completed=" << odd.completed << "}\n";
+namespace {
+
+/// Satisfier set of one wait-for-graph resource: which images could, by
+/// making progress on their own, satisfy it. Conservative over-approximation
+/// per resource kind; the caller subtracts finished images and the images
+/// currently blocked on the resource itself.
+std::vector<int> raw_satisfiers(const obs::ResourceId& resource,
+                                const Image& any_image, int num_images) {
+  std::vector<int> out;
+  switch (resource.kind) {
+    case obs::ResourceKind::kNone:
+      break;
+    case obs::ResourceKind::kOpCompletion:
+      // Completion arrives from already-scheduled network events, never from
+      // another image's forward progress.
+      break;
+    case obs::ResourceKind::kEvent:
+    case obs::ResourceKind::kExitGate:
+      for (int rank = 0; rank < num_images; ++rank) {
+        out.push_back(rank);
+      }
+      break;
+    case obs::ResourceKind::kSteal:
+      if (resource.owner >= 0) {
+        out.push_back(resource.owner);
+      }
+      break;
+    case obs::ResourceKind::kFinish:
+    case obs::ResourceKind::kCollective:
+    case obs::ResourceKind::kSplit: {
+      const auto team = any_image.find_team(static_cast<int>(resource.a));
+      if (team != nullptr) {
+        out = team->members;
+      } else {
+        for (int rank = 0; rank < num_images; ++rank) {
+          out.push_back(rank);
+        }
+      }
+      break;
     }
   }
-  os << network_->describe_state();
-  return os.str();
+  return out;
+}
+
+}  // namespace
+
+void Runtime::fill_postmortem(obs::Postmortem& pm) {
+  const std::size_t recent_cap = options_.obs.postmortem_recent_events;
+  for (int rank = 0; rank < num_images(); ++rank) {
+    Image& img = *images_[static_cast<std::size_t>(rank)];
+    if (static_cast<std::size_t>(rank) >= pm.per_image.size()) {
+      break;  // engine and runtime image counts always match; belt-and-braces
+    }
+    obs::PmImage& out = pm.per_image[static_cast<std::size_t>(rank)];
+    out.mailbox_pending = network_->mailbox(rank).size();
+    out.cofence_scopes = img.cofence_tracker().depth();
+    out.outstanding_ops = img.cofence_tracker().current().outstanding();
+    out.waits = img.wait_stack();
+    std::vector<net::FinishKey> keys;
+    keys.reserve(img.finish_states().size());
+    for (const auto& [key, state] : img.finish_states()) {
+      (void)state;
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end(), [](const net::FinishKey& a,
+                                           const net::FinishKey& b) {
+      return a.team != b.team ? a.team < b.team : a.seq < b.seq;
+    });
+    for (const net::FinishKey& key : keys) {
+      const FinishState& state = img.finish_states().at(key);
+      const EpochCounters& even = state.even();
+      const EpochCounters& odd = state.odd();
+      obs::PmFinishScope scope;
+      scope.team = key.team;
+      scope.seq = key.seq;
+      scope.terminated = state.terminated();
+      scope.odd_epoch = state.present_odd();
+      scope.rounds = state.rounds();
+      scope.even_sent = even.sent;
+      scope.even_delivered = even.delivered;
+      scope.even_received = even.received;
+      scope.even_completed = even.completed;
+      scope.odd_sent = odd.sent;
+      scope.odd_delivered = odd.delivered;
+      scope.odd_received = odd.received;
+      scope.odd_completed = odd.completed;
+      out.finish.push_back(scope);
+    }
+    if (flight_recorder_ != nullptr) {
+      out.recent = flight_recorder_->recent(rank, recent_cap);
+      out.recorded_total = flight_recorder_->total(rank);
+    }
+  }
+  network_->fill_postmortem(pm.net);
+
+  // Wait-for graph: one edge per wait frame, one node per distinct resource.
+  const bool engine_busy = pm.pending_calls > 0;
+  std::vector<obs::ResourceId> resources;
+  for (int rank = 0; rank < num_images(); ++rank) {
+    for (const obs::WaitFrame& frame :
+         images_[static_cast<std::size_t>(rank)]->wait_stack()) {
+      if (frame.resource.kind == obs::ResourceKind::kNone) {
+        continue;
+      }
+      pm.graph.edges.push_back(
+          {rank, frame.resource, frame.reason, frame.since_us});
+      if (std::find(resources.begin(), resources.end(), frame.resource) ==
+          resources.end()) {
+        resources.push_back(frame.resource);
+      }
+    }
+  }
+  for (const obs::ResourceId& resource : resources) {
+    obs::WaitGraph::Satisfiers sat;
+    sat.resource = resource;
+    // A resource that already-scheduled engine events can satisfy is
+    // "external": the run is still moving, so the resource must not close a
+    // cycle. kSplit and kExitGate are pure image-side rendezvous; everything
+    // else may be completed by an in-flight delivery, ack, or timer.
+    sat.external = engine_busy &&
+                   resource.kind != obs::ResourceKind::kSplit &&
+                   resource.kind != obs::ResourceKind::kExitGate;
+    std::vector<int> candidates =
+        raw_satisfiers(resource, *images_[0], num_images());
+    for (int rank : candidates) {
+      if (rank < 0 || rank >= num_images()) {
+        continue;
+      }
+      // A finished image makes no further progress; an image blocked on this
+      // very resource cannot satisfy it either.
+      if (static_cast<std::size_t>(rank) < pm.per_image.size() &&
+          std::string_view(pm.per_image[static_cast<std::size_t>(rank)].state) ==
+              "finished") {
+        continue;
+      }
+      bool waits_on_it = false;
+      for (const obs::WaitFrame& frame :
+           images_[static_cast<std::size_t>(rank)]->wait_stack()) {
+        if (frame.resource == resource) {
+          waits_on_it = true;
+          break;
+        }
+      }
+      if (waits_on_it) {
+        continue;
+      }
+      // Finish scopes: a member that provably passed the scope contributes
+      // nothing more to its termination.
+      if (resource.kind == obs::ResourceKind::kFinish &&
+          images_[static_cast<std::size_t>(rank)]->finish_scope_passed(
+              net::FinishKey{static_cast<int>(resource.a),
+                             static_cast<std::uint32_t>(resource.b)})) {
+        continue;
+      }
+      sat.images.push_back(rank);
+    }
+    pm.graph.resources.push_back(std::move(sat));
+  }
+  obs::find_cycles(pm.graph, num_images());
+  pm.classification = obs::classify(pm.kind, !pm.graph.cycles.empty());
+
+  if (observer_ != nullptr) {
+    pm.blame = std::make_shared<const obs::BlameReport>(obs::analyze_blame(
+        observer_->snapshot(engine_->now(), engine_->backend())));
+  }
+}
+
+std::string Runtime::watchdog_report() {
+  return obs::runtime_sections_text(
+      engine_->snapshot_postmortem("watchdog report"));
+}
+
+obs::Postmortem Runtime::dump_postmortem() {
+  return engine_->snapshot_postmortem("on-demand postmortem");
 }
 
 SplitOp& Runtime::split_op(int team_id, std::uint32_t seq, int expected) {

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 #include "runtime/image.hpp"
 #include "sim/engine.hpp"
 #include "support/config.hpp"
@@ -56,10 +58,22 @@ class Runtime {
 
   /// Runtime sections of the engine's stall/watchdog report: per-image
   /// finish epoch counters {sent, delivered, received, completed},
-  /// outstanding implicit operations, pending mailbox messages, and the
-  /// network's in-flight reliable messages (see sim/engine.hpp and
-  /// DESIGN.md §4.7). Installed as the engine's diagnostics callback.
+  /// outstanding implicit operations, pending mailbox messages, recent
+  /// flight-recorder events, and the network's in-flight reliable messages
+  /// (see sim/engine.hpp and DESIGN.md §4.7, §4.10). Compatibility shim:
+  /// renders the runtime sections of a fresh structured postmortem.
   std::string watchdog_report();
+
+  /// Fill the runtime-owned sections of a postmortem: per-image mailbox and
+  /// cofence state, finish scopes, wait stacks, recent flight-recorder
+  /// events, the network section, the wait-for graph with cycle detection,
+  /// and (when obs capture is on) a blame summary. Installed as the engine's
+  /// postmortem collector; every Engine::fail path calls it.
+  void fill_postmortem(obs::Postmortem& pm);
+
+  /// On-demand structured postmortem of the current state — no failure
+  /// required. Callable from an image context or between runs.
+  obs::Postmortem dump_postmortem();
 
   /// Runtime of the calling participant thread.
   static Runtime& current();
@@ -74,6 +88,11 @@ class Runtime {
   /// Instrumentation sites in runtime/, ops/, and kernels/ test this pointer
   /// — that single branch is their whole disabled-mode cost.
   obs::Recorder* observer() { return observer_.get(); }
+
+  /// The always-on flight recorder, or nullptr when
+  /// ObsConfig::flight_recorder is off. Record sites test this pointer; a
+  /// record is two stores and an increment into a per-image ring.
+  obs::FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
 
   /// Snapshot everything recorded (spans, metrics, drop counters) into an
   /// immutable Capture; nullptr when obs is disabled. Normally called once,
@@ -95,6 +114,7 @@ class Runtime {
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<obs::Recorder> observer_;
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
   std::vector<std::unique_ptr<Image>> images_;
   std::map<net::HandlerId, HandlerFn> handlers_;
   std::map<std::pair<int, std::uint32_t>, SplitOp> splits_;

@@ -101,7 +101,10 @@ Team Team::split(int color, int key) const {
       runtime.engine().unblock(world);
     }
   } else {
-    image.wait_for([&op] { return op.computed; }, "team_split");
+    image.wait_for([&op] { return op.computed; }, "team_split",
+                   obs::ResourceId{obs::ResourceKind::kSplit, -1,
+                                   static_cast<std::uint64_t>(parent.id),
+                                   seq});
   }
 
   std::shared_ptr<const TeamData> mine;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 
 namespace caf2::sim {
 
@@ -97,37 +98,80 @@ void Engine::fail_locked(std::unique_lock<std::mutex>& lock,
   }
 }
 
-std::string Engine::stall_report_locked(const std::string& headline) const {
-  std::ostringstream os;
-  os << headline << " at t=" << now_us_.load(std::memory_order_relaxed)
-     << " us after " << dispatched_.load(std::memory_order_relaxed)
-     << " events\n";
-  os << "participants:\n";
+std::shared_ptr<const obs::Postmortem> Engine::build_postmortem_locked(
+    obs::FailKind kind, const std::string& headline) {
+  auto pm = std::make_shared<obs::Postmortem>();
+  pm->kind = kind;
+  pm->headline = headline;
+  pm->label = options_.label;
+  pm->now_us = now_us_.load(std::memory_order_relaxed);
+  pm->events = dispatched_.load(std::memory_order_relaxed);
+  pm->pending_calls = call_pool_.size() - free_slots_.size();
+  pm->images = size();
+  pm->per_image.reserve(participants_.size());
   for (const auto& participant : participants_) {
-    os << "  p" << participant->id << ": ";
+    obs::PmImage img;
+    img.rank = participant->id;
     switch (participant->state) {
       case PState::kFinished:
-        os << "finished";
+        img.state = "finished";
         break;
       case PState::kWaiting:
-        os << "blocked";
-        if (!participant->block_reason.empty()) {
-          os << " (" << participant->block_reason << ")";
-        }
+        img.state = "blocked";
+        img.block_reason = participant->block_reason;
         break;
       case PState::kIdle:
-        os << "not started";
+        img.state = "not started";
         break;
       case PState::kRunnable:
-        os << "runnable";
+        img.state = "runnable";
         break;
     }
-    os << "\n";
+    pm->per_image.push_back(std::move(img));
+  }
+  pm->classification = obs::classify(kind, false);
+  // Both callbacks run with the engine lock held; an exception escaping here
+  // would deadlock the very failure we are reporting (the thread backend's
+  // wake-up notifications would never run), so tag and swallow instead.
+  auto swallow = [&pm](const char* who, const auto& fn) {
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      if (!pm->collector_error.empty()) {
+        pm->collector_error += "; ";
+      }
+      pm->collector_error += who;
+      pm->collector_error += ": ";
+      pm->collector_error += e.what();
+    } catch (...) {
+      if (!pm->collector_error.empty()) {
+        pm->collector_error += "; ";
+      }
+      pm->collector_error += who;
+      pm->collector_error += ": non-standard exception";
+    }
+  };
+  if (collector_) {
+    swallow("postmortem collector", [&] { collector_(*pm); });
   }
   if (diagnostics_) {
-    os << diagnostics_();
+    swallow("diagnostics callback", [&] { pm->extra = diagnostics_(); });
   }
-  return os.str();
+  return pm;
+}
+
+void Engine::fail_report_locked(std::unique_lock<std::mutex>& lock,
+                                obs::FailKind kind,
+                                const std::string& headline) {
+  if (failed_) {
+    return;  // the first failure's postmortem wins
+  }
+  last_postmortem_ = build_postmortem_locked(kind, headline);
+  fail_locked(lock, obs::to_text(*last_postmortem_));
+}
+
+void Engine::throw_failure() const {
+  throw obs::StallError(failure_reason_, last_postmortem_);
 }
 
 bool Engine::all_unfinished_blocked_locked() const {
@@ -148,13 +192,27 @@ bool Engine::all_unfinished_blocked_locked() const {
 }
 
 void Engine::fail(const std::string& why) {
+  fail(why, obs::FailKind::kExplicitFail);
+}
+
+void Engine::fail(const std::string& why, obs::FailKind kind) {
   auto lock = lock_gate();
-  fail_locked(lock, stall_report_locked(why));
+  fail_report_locked(lock, kind, why);
 }
 
 void Engine::set_diagnostics(std::function<std::string()> fn) {
   auto lock = lock_gate();
   diagnostics_ = std::move(fn);
+}
+
+void Engine::set_postmortem_collector(PostmortemCollector fn) {
+  auto lock = lock_gate();
+  collector_ = std::move(fn);
+}
+
+obs::Postmortem Engine::snapshot_postmortem(const std::string& headline) {
+  auto lock = lock_gate();
+  return *build_postmortem_locked(obs::FailKind::kOnDemand, headline);
 }
 
 std::uint32_t Engine::acquire_slot(InlineFn fn) {
@@ -180,14 +238,15 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
       return;
     }
     if (heap_.empty()) {
-      fail_locked(lock,
-                  stall_report_locked("deadlock: no pending events and every "
-                                      "unfinished participant is blocked"));
+      fail_report_locked(lock, obs::FailKind::kDeadlock,
+                         "deadlock: no pending events and every "
+                         "unfinished participant is blocked");
       return;
     }
     if (options_.max_events != 0 &&
         dispatched_.load(std::memory_order_relaxed) >= options_.max_events) {
-      fail_locked(lock, "simulation event budget exceeded");
+      fail_report_locked(lock, obs::FailKind::kEventBudget,
+                         "simulation event budget exceeded");
       return;
     }
     if (options_.watchdog_quiet_us > 0.0 &&
@@ -198,7 +257,7 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
       os << "watchdog: every image is blocked and no event is due within "
          << options_.watchdog_quiet_us << " us (next event at t="
          << heap_.top().at << " us)";
-      fail_locked(lock, stall_report_locked(os.str()));
+      fail_report_locked(lock, obs::FailKind::kQuietWatchdog, os.str());
       return;
     }
 
@@ -248,12 +307,12 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
           } catch (...) {
             what += " raised a non-standard exception";
           }
-          first_error_ = std::make_exception_ptr(
-              FatalError(options_.label + ": " + what));
-          fail_locked(lock, stall_report_locked(what));
+          fail_report_locked(lock, obs::FailKind::kCallbackError, what);
+          first_error_ = std::make_exception_ptr(obs::StallError(
+              options_.label + ": " + what, last_postmortem_));
         } else {
-          fail_locked(lock, stall_report_locked(
-                                "engine callback raised an exception"));
+          fail_report_locked(lock, obs::FailKind::kCallbackError,
+                             "engine callback raised an exception");
         }
         return;
       }
@@ -295,7 +354,7 @@ void Engine::switch_out(std::unique_lock<std::mutex>& lock,
       Fiber::suspend();
     }
     if (failed_) {
-      throw FatalError(failure_reason_);
+      throw_failure();
     }
     self.state = PState::kRunnable;
     self.block_reason.clear();
@@ -306,7 +365,7 @@ void Engine::switch_out(std::unique_lock<std::mutex>& lock,
     self.cv.wait(lock);
   }
   if (failed_) {
-    throw FatalError(failure_reason_);
+    throw_failure();
   }
   self.state = PState::kRunnable;
   self.block_reason.clear();
@@ -453,7 +512,8 @@ void Engine::participant_main(int id, const std::function<void(int)>& body) {
     if (!first_error_) {
       first_error_ = error;
     }
-    fail_locked(lock, "participant raised an exception");
+    fail_report_locked(lock, obs::FailKind::kImageError,
+                       "participant raised an exception");
   }
   if (finished_count_ == size() || failed_) {
     done_cv_.notify_all();
@@ -485,7 +545,8 @@ void Engine::fiber_main(int id, const std::function<void(int)>& body) {
     if (!first_error_) {
       first_error_ = error;
     }
-    fail_locked(lock, "participant raised an exception");
+    fail_report_locked(lock, obs::FailKind::kImageError,
+                       "participant raised an exception");
   }
 }
 
@@ -597,7 +658,7 @@ void Engine::run(const std::function<void(int)>& body) {
     std::rethrow_exception(first_error_);
   }
   if (failed_) {
-    throw FatalError(failure_reason_);
+    throw_failure();
   }
 }
 

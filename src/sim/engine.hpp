@@ -43,16 +43,16 @@
 ///    EngineOptions::enable_fastpath = false) to force the slow path.
 ///
 /// If the heap drains while unfinished participants are blocked, the
-/// simulated program has provably deadlocked; the engine raises a
-/// caf2::FatalError in every participant with a structured *watchdog report*:
-/// its own per-participant section (who is blocked where) plus whatever the
-/// installed diagnostics callback contributes (the runtime adds per-image
-/// finish counters, outstanding implicit operations, and the network's
-/// in-flight/retransmitting messages — see rt::Runtime::watchdog_report).
+/// simulated program has provably deadlocked; the engine collects a
+/// structured obs::Postmortem (its own per-participant section plus whatever
+/// the installed postmortem collector contributes — the runtime adds wait-for
+/// graph edges, per-image finish counters, flight-recorder tails, and the
+/// network's in-flight messages) and raises an obs::StallError carrying both
+/// the postmortem and its deterministic text rendering in every participant.
 /// A virtual-time quiet-period watchdog (EngineOptions::watchdog_quiet_us)
-/// produces the same report when every unfinished participant is blocked and
-/// the next pending event is suspiciously far in the virtual future (e.g. a
-/// runaway retransmission backoff chain).
+/// produces the same postmortem when every unfinished participant is blocked
+/// and the next pending event is suspiciously far in the virtual future
+/// (e.g. a runaway retransmission backoff chain).
 
 #include <array>
 #include <atomic>
@@ -75,6 +75,8 @@
 
 namespace caf2::obs {
 class Recorder;
+struct Postmortem;
+enum class FailKind : std::uint8_t;
 }
 
 namespace caf2::sim {
@@ -214,19 +216,41 @@ class Engine {
   /// reserve_seq(). \p at is clamped to now() like post().
   void post_reserved(double at, std::uint64_t seq, InlineFn fn);
 
-  /// Abort the run with a diagnosable failure: every blocked participant is
-  /// woken with a caf2::FatalError carrying \p why plus the full stall
-  /// report (participant states + diagnostics callback output). Callable
-  /// from a participant thread or an engine callback; the reliability layer
-  /// uses it when a message exhausts its retransmission budget.
+  /// Abort the run with a diagnosable failure: a structured obs::Postmortem
+  /// is collected and every blocked participant is woken with an
+  /// obs::StallError carrying the postmortem's text rendering. Callable from
+  /// a participant thread or an engine callback; the reliability layer uses
+  /// the two-argument form when a message exhausts its retransmission
+  /// budget. The one-argument form tags the postmortem
+  /// obs::FailKind::kExplicitFail.
   void fail(const std::string& why);
+  void fail(const std::string& why, obs::FailKind kind);
 
-  /// Install a callback that contributes extra sections to stall reports
-  /// (deadlock, quiet-period watchdog, fail()). Invoked with the engine lock
-  /// held: it must not call back into the engine except now() and
-  /// event_count(), and must only *read* simulation state — safe, because a
-  /// stalling engine has no other context running.
+  /// Install a callback that fills the runtime-owned sections of a
+  /// Postmortem (wait-for graph, per-image counters, network state, blame).
+  /// Invoked with the engine lock held: it must not call back into the
+  /// engine except now(), backend(), and event_count(), and must only *read*
+  /// simulation state — safe, because a stalling engine has no other context
+  /// running. Exceptions it throws are swallowed into
+  /// Postmortem::collector_error (never allowed to deadlock a failing run).
+  using PostmortemCollector = std::function<void(obs::Postmortem&)>;
+  void set_postmortem_collector(PostmortemCollector fn);
+
+  /// Install a callback that contributes extra free-form sections to
+  /// postmortems (legacy hook; prefer set_postmortem_collector). Same
+  /// lock-held contract; exceptions are likewise swallowed.
   void set_diagnostics(std::function<std::string()> fn);
+
+  /// Collect a Postmortem of the current (healthy or stalled) state, tagged
+  /// obs::FailKind::kOnDemand. Callable from a participant context or from
+  /// outside the run.
+  obs::Postmortem snapshot_postmortem(const std::string& headline);
+
+  /// The postmortem collected by the first failure, or null if the run has
+  /// not failed. Also carried by the obs::StallError run() throws.
+  std::shared_ptr<const obs::Postmortem> last_postmortem() const {
+    return last_postmortem_;
+  }
 
   /// --- introspection -------------------------------------------------------
 
@@ -350,10 +374,22 @@ class Engine {
 
   void fail_locked(std::unique_lock<std::mutex>& lock, const std::string& why);
 
-  /// Compose the structured stall report: \p headline, then one line per
-  /// participant (state + blocked reason), then the diagnostics callback's
-  /// sections. Requires mutex_ held.
-  std::string stall_report_locked(const std::string& headline) const;
+  /// Collect the structured postmortem: engine-owned fields (participant
+  /// states, event counts) plus whatever the postmortem collector and the
+  /// legacy diagnostics callback contribute. Exceptions from either callback
+  /// are swallowed into Postmortem::collector_error — a report must never
+  /// deadlock the failing run it is reporting on. Requires mutex_ held.
+  std::shared_ptr<const obs::Postmortem> build_postmortem_locked(
+      obs::FailKind kind, const std::string& headline);
+
+  /// Fail the run with a freshly collected postmortem (no-op when already
+  /// failed — the first postmortem wins). failure_reason_ becomes the
+  /// postmortem's text rendering. Requires mutex_ held.
+  void fail_report_locked(std::unique_lock<std::mutex>& lock,
+                          obs::FailKind kind, const std::string& headline);
+
+  /// Throw the failure as an obs::StallError carrying last_postmortem_.
+  [[noreturn]] void throw_failure() const;
 
   /// True when at least one participant is blocked and every unfinished one
   /// is (i.e. only heap events can make progress). Requires mutex_ held.
@@ -371,6 +407,8 @@ class Engine {
   bool fastpath_ = true;
   ExecBackend backend_ = ExecBackend::kThreads;  ///< resolved, never kAuto
   std::function<std::string()> diagnostics_;
+  PostmortemCollector collector_;
+  std::shared_ptr<const obs::Postmortem> last_postmortem_;
 
   // now_us_ and dispatched_ are atomics so now()/event_count() stay callable
   // without the engine lock; all *writes* happen on the single thread that

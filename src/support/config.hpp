@@ -227,6 +227,19 @@ struct ObsConfig {
   /// Hard memory cap of the network-track span buffer (bytes). The network
   /// track sees one span per delivered message, so it gets a larger default.
   std::size_t max_net_track_bytes = std::size_t{8} << 20;
+
+  /// Always-on flight recorder (obs/flight_recorder.hpp): per-image rings of
+  /// POD events feeding postmortems. Independent of `enabled` (the span
+  /// recorder); recording never allocates past construction and never
+  /// schedules engine events, so schedules stay bit-identical.
+  bool flight_recorder = true;
+
+  /// Ring capacity per image, rounded up to a power of two (minimum 8).
+  std::size_t flight_recorder_entries = 256;
+
+  /// How many of each image's most recent flight-recorder events a rendered
+  /// postmortem includes.
+  std::size_t postmortem_recent_events = 16;
 };
 
 /// Complete configuration of a simulated SPMD run.

@@ -1,0 +1,385 @@
+/// Tests for the failure-diagnosis subsystem (DESIGN.md §4.10): the flight
+/// recorder, the wait-for graph with SCC cycle detection, StallClass
+/// classification (true deadlock vs slow-network stall vs suspected
+/// livelock), postmortem determinism across backends / repeats / fault
+/// plans, schedule-neutrality of the always-on flight recorder, the
+/// collector-exception fix, the watchdog_report() compat shim, and the
+/// on-demand dump path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/caf2.hpp"
+#include "obs/postmortem.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/participant.hpp"
+
+namespace {
+
+using namespace caf2;
+
+void bump(Coref<long> counter) { counter.local()[0] += 1; }
+
+RuntimeOptions base_options(int images) {
+  RuntimeOptions options;
+  options.num_images = images;
+  options.net.latency_us = 5.0;
+  options.net.bandwidth_bytes_per_us = 100.0;
+  options.net.ack_latency_us = 5.0;
+  options.net.jitter_us = 0.0;
+  return options;
+}
+
+/// Run \p body expecting a stall failure; return the caught StallError.
+template <typename Body>
+obs::StallError expect_stall(const RuntimeOptions& options, Body&& body) {
+  try {
+    run(options, body);
+  } catch (const obs::StallError& error) {
+    return error;
+  } catch (const std::exception& error) {
+    ADD_FAILURE() << "expected obs::StallError, got: " << error.what();
+  }
+  ADD_FAILURE() << "expected the run to stall";
+  return obs::StallError("missing", nullptr);
+}
+
+/// --- flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsTheTail) {
+  obs::FlightRecorder recorder(1, 8);
+  EXPECT_EQ(recorder.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    recorder.record(0, static_cast<double>(i), obs::FrKind::kSend, 1,
+                    static_cast<std::uint64_t>(i), 0);
+  }
+  EXPECT_EQ(recorder.total(0), 20u);
+  const std::vector<obs::FrEvent> tail = recorder.recent(0, 4);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front().a, 16u);  // oldest of the last 4
+  EXPECT_EQ(tail.back().a, 19u);
+  const std::vector<obs::FrEvent> all = recorder.recent(0, 100);
+  EXPECT_EQ(all.size(), 8u) << "at most the ring capacity survives";
+  EXPECT_EQ(all.front().a, 12u);
+}
+
+TEST(FlightRecorder, RecordsDeliveriesDuringARun) {
+  RuntimeOptions options = base_options(2);
+  obs::Postmortem pm;
+  run(options, [&] {
+    Team world = team_world();
+    team_barrier(world);
+    if (this_image() == 0) {
+      pm = dump_postmortem();
+    }
+    team_barrier(world);
+  });
+  ASSERT_EQ(pm.per_image.size(), 2u);
+  EXPECT_GT(pm.per_image[0].recorded_total, 0u)
+      << "the barrier's messages must appear in the flight recorder";
+  bool saw_network_event = false;
+  for (const obs::FrEvent& event : pm.per_image[0].recent) {
+    if (event.kind == obs::FrKind::kSend ||
+        event.kind == obs::FrKind::kDeliver) {
+      saw_network_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_network_event);
+}
+
+/// --- forced deadlocks: cycle detection ---------------------------------------
+
+TEST(Postmortem, TwoImageEventCycleNamesImagesAndResources) {
+  RuntimeOptions options = base_options(2);
+  options.sim_backend = ExecBackend::kFibers;
+  const obs::StallError error = expect_stall(options, [] {
+    Team world = team_world();
+    team_barrier(world);
+    Event never;
+    never.wait();  // 0 and 1 each wait on their own event; nobody notifies
+  });
+  ASSERT_NE(error.postmortem(), nullptr);
+  const obs::Postmortem& pm = *error.postmortem();
+  EXPECT_EQ(pm.kind, obs::FailKind::kDeadlock);
+  EXPECT_EQ(pm.classification, obs::StallClass::kDeadlockCycle);
+  ASSERT_EQ(pm.graph.cycles.size(), 1u);
+  const obs::WaitGraph::Cycle& cycle = pm.graph.cycles[0];
+  EXPECT_EQ(cycle.images, (std::vector<int>{0, 1}));
+  ASSERT_EQ(cycle.resources.size(), 2u);
+  for (const obs::ResourceId& resource : cycle.resources) {
+    EXPECT_EQ(resource.kind, obs::ResourceKind::kEvent);
+  }
+  // The rendered text names the exact cycle.
+  const std::string text = obs::to_text(pm);
+  EXPECT_NE(text.find("classification: deadlock-cycle (fail path: deadlock)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cycle 0: images {0, 1}"), std::string::npos) << text;
+  EXPECT_NE(text.find("event#"), std::string::npos) << text;
+  EXPECT_EQ(std::string(error.what()).find("missing"), std::string::npos);
+}
+
+TEST(Postmortem, CrossFinishScopeCycleNamesTheFinishResource) {
+  // Image 1 reaches finish termination detection and waits for image 0's
+  // contribution; image 0 is stuck *inside* the finish body on an event
+  // nobody will notify. The cycle runs through the finish resource.
+  RuntimeOptions options = base_options(2);
+  const obs::StallError error = expect_stall(options, [] {
+    Team world = team_world();
+    team_barrier(world);
+    finish(world, [&] {
+      if (this_image() == 0) {
+        Event never;
+        never.wait();
+      }
+    });
+  });
+  ASSERT_NE(error.postmortem(), nullptr);
+  const obs::Postmortem& pm = *error.postmortem();
+  EXPECT_EQ(pm.kind, obs::FailKind::kDeadlock);
+  EXPECT_EQ(pm.classification, obs::StallClass::kDeadlockCycle);
+  ASSERT_GE(pm.graph.cycles.size(), 1u);
+  const obs::WaitGraph::Cycle& cycle = pm.graph.cycles[0];
+  EXPECT_EQ(cycle.images, (std::vector<int>{0, 1}));
+  bool has_finish = false;
+  bool has_event = false;
+  for (const obs::ResourceId& resource : cycle.resources) {
+    has_finish |= resource.kind == obs::ResourceKind::kFinish;
+    has_event |= resource.kind == obs::ResourceKind::kEvent;
+  }
+  EXPECT_TRUE(has_finish) << obs::to_text(pm);
+  EXPECT_TRUE(has_event) << obs::to_text(pm);
+  // Image 1's wait stack shows the finish-detection frame.
+  bool image1_in_detection = false;
+  for (const obs::WaitFrame& frame : pm.per_image[1].waits) {
+    if (frame.resource.kind == obs::ResourceKind::kFinish) {
+      image1_in_detection = true;
+    }
+  }
+  EXPECT_TRUE(image1_in_detection) << obs::to_text(pm);
+}
+
+/// --- stalls that are NOT deadlocks -------------------------------------------
+
+TEST(Postmortem, SlowNetworkQuietPeriodIsAStallNotACycle) {
+  // Latency far beyond the watchdog quiet period: every image blocks inside
+  // a barrier whose messages are still in flight. The watchdog fires, but
+  // the pending deliveries make every resource externally satisfiable — no
+  // cycle, classified as a stall.
+  RuntimeOptions options = base_options(2);
+  options.net.latency_us = 5'000'000.0;
+  options.watchdog_quiet_us = 1'000.0;
+  const obs::StallError error = expect_stall(options, [] {
+    team_barrier(team_world());
+  });
+  ASSERT_NE(error.postmortem(), nullptr);
+  const obs::Postmortem& pm = *error.postmortem();
+  EXPECT_EQ(pm.kind, obs::FailKind::kQuietWatchdog);
+  EXPECT_EQ(pm.classification, obs::StallClass::kStallNoCycle);
+  EXPECT_TRUE(pm.graph.cycles.empty()) << obs::to_text(pm);
+  EXPECT_GT(pm.pending_calls, 0u)
+      << "the in-flight deliveries are what makes this a stall, not deadlock";
+  const std::string text = obs::to_text(pm);
+  EXPECT_NE(text.find("classification: stall-no-cycle"), std::string::npos)
+      << text;
+}
+
+TEST(Postmortem, RetryCapClassifiedAsSuspectedLivelock) {
+  RuntimeOptions options = base_options(2);
+  options.net.faults.all.drop_probability = 1.0;  // black hole
+  options.net.reliability.max_attempts = 3;
+  options.net.reliability.rto_us = 100.0;
+  const obs::StallError error = expect_stall(options, [] {
+    Team world = team_world();
+    Coarray<long> counter(world, 1);
+    counter[0] = 0;
+    finish(world, [&] {
+      if (this_image() == 0) {
+        spawn<bump>(1, counter.ref());
+      }
+    });
+  });
+  ASSERT_NE(error.postmortem(), nullptr);
+  const obs::Postmortem& pm = *error.postmortem();
+  EXPECT_EQ(pm.kind, obs::FailKind::kRetryCap);
+  EXPECT_EQ(pm.classification, obs::StallClass::kLivelockSuspected);
+  EXPECT_TRUE(pm.net.present);
+  EXPECT_TRUE(pm.net.reliable);
+  EXPECT_GE(pm.net.inflight_total, 1u);
+  ASSERT_FALSE(pm.net.inflight.empty());
+  EXPECT_EQ(pm.net.inflight[0].source, 0);
+  EXPECT_EQ(pm.net.inflight[0].dest, 1);
+}
+
+/// --- determinism -------------------------------------------------------------
+
+std::string deadlock_text(ExecBackend backend) {
+  RuntimeOptions options = base_options(2);
+  options.sim_backend = backend;
+  const obs::StallError error = expect_stall(options, [] {
+    Team world = team_world();
+    team_barrier(world);
+    Event never;
+    never.wait();
+  });
+  return error.postmortem() != nullptr ? obs::to_text(*error.postmortem())
+                                       : std::string();
+}
+
+TEST(PostmortemDeterminism, TextByteIdenticalAcrossBackendsAndRepeats) {
+  const std::string fibers_once = deadlock_text(ExecBackend::kFibers);
+  const std::string fibers_twice = deadlock_text(ExecBackend::kFibers);
+  const std::string threads_once = deadlock_text(ExecBackend::kThreads);
+  ASSERT_FALSE(fibers_once.empty());
+  EXPECT_EQ(fibers_once, fibers_twice);
+  EXPECT_EQ(fibers_once, threads_once);
+}
+
+std::string faulty_deadlock_text(ExecBackend backend) {
+  RuntimeOptions options = base_options(3);
+  options.sim_backend = backend;
+  options.net.jitter_us = 1.0;
+  options.net.faults.all.drop_probability = 0.3;
+  options.net.faults.all.dup_probability = 0.2;
+  options.net.faults.all.delay_probability = 0.3;
+  options.net.faults.all.delay_max_us = 20.0;
+  const obs::StallError error = expect_stall(options, [] {
+    Team world = team_world();
+    team_barrier(world);  // exercises the fault plan (drops + retransmits)
+    Event never;
+    never.wait();
+  });
+  return error.postmortem() != nullptr ? obs::to_text(*error.postmortem())
+                                       : std::string();
+}
+
+TEST(PostmortemDeterminism, TextByteIdenticalUnderAFaultPlan) {
+  const std::string fibers = faulty_deadlock_text(ExecBackend::kFibers);
+  const std::string threads = faulty_deadlock_text(ExecBackend::kThreads);
+  ASSERT_FALSE(fibers.empty());
+  EXPECT_EQ(fibers, threads);
+  EXPECT_NE(fibers.find("fault stats:"), std::string::npos) << fibers;
+}
+
+/// --- schedule neutrality of the flight recorder ------------------------------
+
+TEST(FlightRecorder, OnOrOffLeavesTheScheduleBitIdentical) {
+  auto body = [] {
+    Team world = team_world();
+    Coarray<long> data(world, 4);
+    data[0] = this_image();
+    team_barrier(world);
+    finish(world, [&] {
+      const int next = (this_image() + 1) % num_images();
+      copy_async(data(next), data(this_image()));
+    });
+    team_barrier(world);
+  };
+  RuntimeOptions on = base_options(4);
+  on.obs.flight_recorder = true;
+  RuntimeOptions off = base_options(4);
+  off.obs.flight_recorder = false;
+  const RunStats with_fr = run_stats(on, body);
+  const RunStats without_fr = run_stats(off, body);
+  EXPECT_EQ(with_fr.events, without_fr.events);
+  EXPECT_EQ(with_fr.virtual_us, without_fr.virtual_us);
+  EXPECT_EQ(with_fr.context_switches, without_fr.context_switches);
+}
+
+/// --- collector exceptions must not deadlock the failing run ------------------
+
+TEST(Postmortem, ThrowingDiagnosticsCallbackIsSwallowedIntoThePostmortem) {
+  sim::Engine engine(2);
+  engine.set_diagnostics(
+      []() -> std::string { throw std::runtime_error("diag boom"); });
+  try {
+    engine.run([](int id) {
+      if (id == 1) {
+        sim::this_engine().block("never woken");
+      }
+    });
+    FAIL() << "the deadlock must abort the run";
+  } catch (const obs::StallError& error) {
+    ASSERT_NE(error.postmortem(), nullptr);
+    EXPECT_NE(error.postmortem()->collector_error.find("diag boom"),
+              std::string::npos)
+        << error.postmortem()->collector_error;
+    EXPECT_EQ(error.postmortem()->kind, obs::FailKind::kDeadlock);
+  }
+}
+
+TEST(Postmortem, ThrowingPostmortemCollectorIsSwallowedToo) {
+  sim::Engine engine(2);
+  engine.set_postmortem_collector(
+      [](obs::Postmortem&) { throw std::runtime_error("collector boom"); });
+  try {
+    engine.run([](int id) {
+      if (id == 1) {
+        sim::this_engine().block("never woken");
+      }
+    });
+    FAIL() << "the deadlock must abort the run";
+  } catch (const obs::StallError& error) {
+    ASSERT_NE(error.postmortem(), nullptr);
+    EXPECT_NE(error.postmortem()->collector_error.find("collector boom"),
+              std::string::npos);
+  }
+}
+
+/// --- on-demand dump + renderers ----------------------------------------------
+
+TEST(Postmortem, OnDemandDumpOfAHealthyRun) {
+  RuntimeOptions options = base_options(2);
+  obs::Postmortem pm;
+  run(options, [&] {
+    team_barrier(team_world());
+    if (this_image() == 0) {
+      pm = dump_postmortem();
+    }
+    team_barrier(team_world());
+  });
+  EXPECT_EQ(pm.kind, obs::FailKind::kOnDemand);
+  EXPECT_EQ(pm.classification, obs::StallClass::kNotStalled);
+  EXPECT_EQ(pm.images, 2);
+  ASSERT_EQ(pm.per_image.size(), 2u);
+  const std::string json = obs::to_json(pm);
+  EXPECT_NE(json.find("\"kind\": \"on-demand\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"per_image\""), std::string::npos);
+  const std::string dot = obs::wait_graph_to_dot(pm);
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u) << dot;
+}
+
+TEST(Postmortem, WatchdogReportShimKeepsTheLegacySections) {
+  RuntimeOptions options = base_options(2);
+  std::string report;
+  run(options, [&] {
+    team_barrier(team_world());
+    if (this_image() == 0) {
+      report = rt::Image::current().runtime().watchdog_report();
+    }
+    team_barrier(team_world());
+  });
+  EXPECT_NE(report.find("image 0: mailbox pending="), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("network: reliable delivery off"), std::string::npos)
+      << report;
+}
+
+TEST(Postmortem, BlameSummaryAttachedWhenSpanRecorderIsOn) {
+  RuntimeOptions options = base_options(2);
+  options.obs.enabled = true;
+  const obs::StallError error = expect_stall(options, [] {
+    Team world = team_world();
+    team_barrier(world);
+    Event never;
+    never.wait();
+  });
+  ASSERT_NE(error.postmortem(), nullptr);
+  EXPECT_NE(error.postmortem()->blame, nullptr);
+  const std::string text = obs::to_text(*error.postmortem());
+  EXPECT_NE(text.find("blame summary:"), std::string::npos) << text;
+}
+
+}  // namespace
