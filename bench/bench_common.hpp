@@ -13,6 +13,9 @@
 ///   --images=a,b,c     override the image-count sweep
 ///   --jobs=n           run up to n sweep points concurrently
 ///                      (default: one per hardware thread)
+///   --shards=n         run each simulation on an n-shard parallel engine
+///                      (DESIGN.md §4.11); raises the paper-scale drivers'
+///                      default image sweeps to the 4K-32K band
 ///   --json=path        override the BENCH_<name>.json output path
 ///
 /// Each Engine is fully self-contained (its own heap, mailboxes, RNG
@@ -46,6 +49,7 @@ struct BenchArgs {
   bool quick = false;
   std::vector<int> images;  ///< empty = driver default
   int jobs = 0;             ///< sweep concurrency; 0 = hardware threads
+  int shards = 1;           ///< engine shards per simulation (1 = serial DES)
   std::string json;         ///< JSON output path; empty = driver default
 };
 
@@ -96,13 +100,19 @@ inline BenchArgs parse_args(int argc, char** argv) {
         std::fprintf(stderr, "--jobs: must be >= 0\n");
         std::exit(2);
       }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      args.shards = parse_int_or_die(arg.substr(9), "--shards");
+      if (args.shards < 1) {
+        std::fprintf(stderr, "--shards: must be >= 1\n");
+        std::exit(2);
+      }
     } else if (arg.rfind("--json=", 0) == 0) {
       args.json = arg.substr(7);
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: %s [--quick] [--images=a,b,c] [--jobs=n] "
-                   "[--json=path]\n",
+                   "[--shards=n] [--json=path]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }
@@ -111,13 +121,17 @@ inline BenchArgs parse_args(int argc, char** argv) {
 }
 
 /// Interconnect model used by all figure drivers: Gemini-class latency and
-/// bandwidth with a little jitter so channels are not FIFO.
-inline RuntimeOptions bench_options(int images) {
+/// bandwidth with a little jitter so channels are not FIFO. \p shards > 1
+/// runs the simulation on a sharded parallel engine (DESIGN.md §4.11);
+/// virtual-time results then differ from the serial engine's, so keep shard
+/// counts fixed when comparing runs.
+inline RuntimeOptions bench_options(int images, int shards = 1) {
   RuntimeOptions options;
   options.num_images = images;
   options.net = NetworkParams::gemini_like();
   options.max_events = 600'000'000;
   options.label = "bench";
+  options.shards = shards;
   return options;
 }
 
@@ -214,6 +228,13 @@ inline BenchRecord measure_run(const RuntimeOptions& options,
       record.wall_seconds > 0.0
           ? static_cast<double>(stats.events) / record.wall_seconds
           : 0.0;
+  if (stats.shards > 1) {
+    record.metrics.emplace_back("shards", static_cast<double>(stats.shards));
+    record.metrics.emplace_back("windows",
+                                static_cast<double>(stats.windows));
+    record.metrics.emplace_back("window_stalls",
+                                static_cast<double>(stats.window_stalls));
+  }
   return record;
 }
 
@@ -228,6 +249,7 @@ inline void emit_bench_json(const BenchArgs& args, const std::string& name,
                     std::to_string(resolve_jobs(args.jobs, records.size())));
   meta.emplace_back("hardware_threads",
                     std::to_string(std::thread::hardware_concurrency()));
+  meta.emplace_back("shards", std::to_string(args.shards));
   // Which execution backend these numbers came from (threads vs fibers) —
   // wall-clock figures are not comparable across backends.
   meta.emplace_back("engine_backend",

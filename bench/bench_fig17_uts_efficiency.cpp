@@ -12,13 +12,19 @@ int main(int argc, char** argv) {
   using namespace caf2;
   const auto args = bench::parse_args(argc, argv);
   // Default sweep runs to the paper's full 1024 images — tractable on one
-  // machine thanks to the fiber execution backend (DESIGN.md §4.8).
-  std::vector<int> sweep =
-      args.images.empty()
-          ? std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
-          : args.images;
-  if (args.quick && args.images.empty()) {
-    sweep = {1, 2, 4, 8};
+  // machine thanks to the fiber execution backend (DESIGN.md §4.8). With
+  // --shards=n the sharded parallel engine (DESIGN.md §4.11) carries the
+  // sweep into the paper's actual 4K-32K core band.
+  std::vector<int> sweep;
+  if (!args.images.empty()) {
+    sweep = args.images;
+  } else if (args.shards > 1) {
+    sweep = args.quick ? std::vector<int>{256, 1024}
+                       : std::vector<int>{4096, 8192, 16384, 32768};
+  } else {
+    sweep = args.quick
+                ? std::vector<int>{1, 2, 4, 8}
+                : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
   }
 
   kernels::UtsConfig config;
@@ -40,12 +46,16 @@ int main(int argc, char** argv) {
   for (int images : sweep) {
     double elapsed = 0.0;
     std::uint64_t total = 0;
-    const RunStats run_result =
-        run_stats(bench::bench_obs_options(images), [&] {
-          const auto stats = kernels::uts_run(team_world(), config);
-          elapsed = bench::reduce_max(team_world(), stats.elapsed_us);
-          total = stats.total_nodes;
-        });
+    // Span recording forces the serial engine, so the sharded sweep trades
+    // the blame sidecar for scale.
+    const RuntimeOptions options =
+        args.shards > 1 ? bench::bench_options(images, args.shards)
+                        : bench::bench_obs_options(images);
+    const RunStats run_result = run_stats(options, [&] {
+      const auto stats = kernels::uts_run(team_world(), config);
+      elapsed = bench::reduce_max(team_world(), stats.elapsed_us);
+      total = stats.total_nodes;
+    });
     if (images == sweep.front() && images == 1) {
       t1_us = elapsed;
     } else if (t1_us == 0.0) {
@@ -57,13 +67,6 @@ int main(int argc, char** argv) {
                    static_cast<long long>(total), elapsed / 1000.0, speedup,
                    speedup / images});
 
-    // Blame sidecar: where the non-compute fraction of the run went —
-    // the paper's efficiency loss is exactly these buckets.
-    const obs::BlameReport report = obs::analyze_blame(*run_result.obs);
-    std::uint64_t steal_attempts = 0;
-    for (const obs::Metrics& m : run_result.obs->metrics) {
-      steal_attempts += m.counter(obs::Counter::kStealAttempts);
-    }
     BenchRecord record;
     record.name = "uts/images=" + std::to_string(images);
     record.virtual_us = run_result.virtual_us;
@@ -72,9 +75,21 @@ int main(int argc, char** argv) {
     record.metrics.emplace_back("total_nodes",
                                 static_cast<double>(total));
     record.metrics.emplace_back("efficiency", speedup / images);
-    record.metrics.emplace_back("steal_attempts",
-                                static_cast<double>(steal_attempts));
-    bench::append_blame_metrics(record, report);
+    if (run_result.obs) {
+      // Blame sidecar: where the non-compute fraction of the run went —
+      // the paper's efficiency loss is exactly these buckets.
+      const obs::BlameReport report = obs::analyze_blame(*run_result.obs);
+      std::uint64_t steal_attempts = 0;
+      for (const obs::Metrics& m : run_result.obs->metrics) {
+        steal_attempts += m.counter(obs::Counter::kStealAttempts);
+      }
+      record.metrics.emplace_back("steal_attempts",
+                                  static_cast<double>(steal_attempts));
+      bench::append_blame_metrics(record, report);
+    } else {
+      record.metrics.emplace_back("shards",
+                                  static_cast<double>(run_result.shards));
+    }
     blame_records.push_back(std::move(record));
   }
   table.print();
@@ -82,6 +97,13 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper Fig. 17): efficiency in the 0.7-1.0 band,\n"
       "declining gently as images increase (74%%-80%% across the paper's\n"
       "256-32768 cores).\n");
-  bench::emit_blame_json(args, "fig17", blame_records);
+  if (args.shards > 1) {
+    std::printf(
+        "(--shards=%d: blame buckets omitted — span recording requires the "
+        "serial engine)\n",
+        args.shards);
+  }
+  bench::emit_blame_json(args, "fig17", blame_records,
+                         {{"shards", std::to_string(args.shards)}});
   return 0;
 }

@@ -14,6 +14,15 @@
 /// BENCH_substrate.json so the simulator's perf trajectory is tracked
 /// across commits. Use CAF2_SIM_NO_FASTPATH=1 to compare against the
 /// slow-path scheduler.
+///
+/// The sharded/* section measures the parallel-DES engine (DESIGN.md §4.11):
+/// one paper-scale ring workload swept over shard counts 1..hardware
+/// threads. Those points own all cores, so they run serially *after* the
+/// pooled sweep; events/sec across the shard axis is the engine's strong-
+/// scaling curve (expect monotone growth while shards <= physical cores).
+
+#include <algorithm>
+#include <span>
 
 #include "bench_common.hpp"
 #include "kernels/randomaccess.hpp"
@@ -175,6 +184,65 @@ std::vector<SweepPoint> build_sweep(const BenchArgs& args) {
   return sweep;
 }
 
+/// Paper-scale neighbor-ring workload for the shard-scaling curve: every
+/// image streams a few rounds of copy_async to its ring successor inside a
+/// finish. Per-image work is independent, so the workload shards cleanly;
+/// the ring edges that straddle shard boundaries exercise the cross-shard
+/// delivery path at its real density.
+void ring_workload(int rounds) {
+  Team world = team_world();
+  Coarray<long> slot(world, 8);
+  team_barrier(world);
+  const std::vector<long> payload(8, 1);
+  finish(world, [&] {
+    for (int r = 0; r < rounds; ++r) {
+      copy_async(slot((world.rank() + 1) % world.size()),
+                 std::span<const long>(payload));
+      cofence();
+    }
+  });
+  team_barrier(world);
+}
+
+/// Shard counts to sweep: powers of two from 1 up to the hardware thread
+/// count (always at least {1, 2, 4} so the scaling curve exists even on
+/// small CI runners).
+std::vector<int> shard_axis() {
+  const int hw = std::max(
+      4, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> axis;
+  for (int s = 1; s <= hw; s *= 2) {
+    axis.push_back(s);
+  }
+  return axis;
+}
+
+std::vector<SweepPoint> build_sharded_sweep(const BenchArgs& args) {
+  std::vector<SweepPoint> sweep;
+  std::vector<int> image_counts =
+      args.images.empty() ? std::vector<int>{4096} : args.images;
+  if (args.quick && args.images.empty()) {
+    image_counts = {1024};
+  }
+  for (const int images : image_counts) {
+    for (const int shards : shard_axis()) {
+      sweep.push_back({"sharded/images=" + std::to_string(images) +
+                           "/shards=" + std::to_string(shards),
+                       [images, shards] {
+                         BenchRecord record = bench::measure_run(
+                             bench::bench_options(images, shards),
+                             [] { ring_workload(4); });
+                         record.metrics.emplace_back("images", images);
+                         if (shards == 1) {
+                           record.metrics.emplace_back("shards", 1.0);
+                         }
+                         return record;
+                       }});
+    }
+  }
+  return sweep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,8 +250,14 @@ int main(int argc, char** argv) {
 
   std::vector<SweepPoint> sweep = build_sweep(args);
   const WallTimer total;
-  const std::vector<BenchRecord> results =
+  std::vector<BenchRecord> results =
       bench::run_sweep(std::move(sweep), args.jobs);
+  // The shard-scaling points saturate the machine by design: run them one
+  // at a time so the curve measures the engine, not pool contention.
+  std::vector<BenchRecord> sharded =
+      bench::run_sweep(build_sharded_sweep(args), 1);
+  results.insert(results.end(), std::make_move_iterator(sharded.begin()),
+                 std::make_move_iterator(sharded.end()));
   const double elapsed = total.seconds();
 
   Table table("Simulator substrate throughput (real time, not virtual)");

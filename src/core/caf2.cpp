@@ -27,6 +27,10 @@ RunStats run_stats(const RuntimeOptions& options,
   stats.fastpath = runtime.engine().fastpath_enabled();
   stats.backend = runtime.engine().backend();
   stats.peak_rss_bytes = peak_rss_bytes();
+  stats.shards = runtime.engine().shard_count();
+  stats.windows = runtime.engine().window_count();
+  stats.window_stalls = runtime.engine().window_stall_count();
+  stats.shard_events = runtime.engine().shard_event_counts();
   stats.faults = runtime.network().fault_stats();
   stats.obs = runtime.take_capture();
   return stats;

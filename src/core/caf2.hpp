@@ -25,6 +25,7 @@
 ///   caf2::finish(...)    global completion across a team
 
 #include <memory>
+#include <vector>
 
 #include "core/cofence.hpp"
 #include "core/finish.hpp"
@@ -63,7 +64,19 @@ struct RunStats {
   std::uint64_t context_switches = 0;  ///< token handoffs between images
   bool fastpath = true;      ///< self-wake fast path was active
   ExecBackend backend = ExecBackend::kAuto;  ///< resolved backend that ran
-  std::uint64_t peak_rss_bytes = 0;  ///< process peak RSS after the run
+  /// Process peak RSS after the run, summed over every worker thread (Linux:
+  /// VmHWM of the whole process, not just the scheduler thread).
+  std::uint64_t peak_rss_bytes = 0;
+  /// --- sharded execution (DESIGN.md §4.11) ----------------------------------
+  /// shards, windows, window_stalls, and shard_events are deterministic for a
+  /// fixed shard count; shards=1 reports windows = window_stalls = 0 and a
+  /// single shard_events entry equal to `events`, matching the legacy engine.
+  int shards = 1;                     ///< engine shards the run executed on
+  std::uint64_t windows = 0;          ///< conservative window advances
+  std::uint64_t window_stalls = 0;    ///< per-shard window entries with no
+                                      ///< dispatchable event (scaling-loss
+                                      ///< diagnostic, summed over shards)
+  std::vector<std::uint64_t> shard_events;  ///< events dispatched per shard
   FaultStats faults{};       ///< injected-fault / retransmission counters
   /// Observability capture (spans + metrics); non-null only when
   /// RuntimeOptions::obs.enabled was set. Feed to obs::to_chrome_trace(),

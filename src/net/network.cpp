@@ -21,6 +21,21 @@ Network::Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed)
   params_.validate();
   reliable_ = params_.reliable_delivery();
   faults_active_ = params_.faults.active();
+  if (engine.sharded()) {
+    // The retransmission protocol mutates per-link state from both endpoints
+    // of a flight; it only runs on the single-shard engine (the runtime
+    // forces shards=1 whenever reliability is active).
+    CAF2_REQUIRE(!reliable_,
+                 "reliable delivery requires an unsharded engine (shards=1)");
+    SplitMix64 seeder(seed);
+    shard_jitter_.reserve(static_cast<std::size_t>(engine.shard_count()));
+    for (int shard = 0; shard < engine.shard_count(); ++shard) {
+      // child(0) is unused here and child(1) feeds the fault stream; the
+      // per-shard jitter streams start at child(2).
+      shard_jitter_.emplace_back(
+          seeder.child(static_cast<std::uint64_t>(shard) + 2));
+    }
+  }
   if (reliable_) {
     links_.resize(static_cast<std::size_t>(engine.size()) *
                   static_cast<std::size_t>(engine.size()));
@@ -50,6 +65,18 @@ void Network::reset_traffic() {
   }
 }
 
+Xoshiro256ss& Network::jitter_rng() {
+  if (shard_jitter_.empty()) {
+    return jitter_rng_;
+  }
+  return shard_jitter_[static_cast<std::size_t>(engine_.current_shard())];
+}
+
+bool Network::cross_shard(int source, int dest) const {
+  return engine_.sharded() &&
+         engine_.shard_of(source) != engine_.shard_of(dest);
+}
+
 Network::Timing Network::plan(double now, std::size_t bytes) {
   Timing timing{};
   // bandwidth is validated > 0 (infinity => instantaneous staging).
@@ -58,7 +85,7 @@ Network::Timing Network::plan(double now, std::size_t bytes) {
   timing.stage_at = now + inject;
   double jitter = 0.0;
   if (params_.jitter_us > 0.0) {
-    jitter = jitter_rng_.next_double() * params_.jitter_us;
+    jitter = jitter_rng().next_double() * params_.jitter_us;
   }
   timing.deliver_at = timing.stage_at + params_.latency_us + jitter;
   timing.ack_at = timing.deliver_at + params_.effective_ack_latency_us();
@@ -68,8 +95,8 @@ Network::Timing Network::plan(double now, std::size_t bytes) {
 void Network::account_send(const Message& message) {
   const std::size_t source = static_cast<std::size_t>(message.header.source);
   const std::size_t bytes = message.size_bytes();
-  ++messages_sent_;
-  bytes_sent_ += bytes;
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
   traffic_[source].messages_out += 1;
   traffic_[source].bytes_out += bytes;
   if (observer_ != nullptr) {
@@ -148,6 +175,10 @@ void Network::send(Message message, SendCallbacks callbacks) {
     send_reliable(std::move(message), std::move(callbacks));
     return;
   }
+  if (cross_shard(message.header.source, message.header.dest)) {
+    send_cross(std::move(message), std::move(callbacks));
+    return;
+  }
   Flight flight;
   flight.init_us = engine_.now();
   flight.timing = plan(flight.init_us, message.size_bytes());
@@ -200,6 +231,11 @@ void Network::send_staged(MessageHeader header, std::size_t size_hint,
                          std::move(callbacks));
     return;
   }
+  if (cross_shard(header.source, header.dest)) {
+    send_staged_cross(header, size_hint, std::move(read),
+                      std::move(callbacks));
+    return;
+  }
   const double init_us = engine_.now();
   const Timing timing = plan(init_us, size_hint);
 
@@ -234,6 +270,77 @@ void Network::send_staged(MessageHeader header, std::size_t size_hint,
         account_send(flight.message);
         schedule_deliver(std::move(flight));
       });
+}
+
+/// --- cross-shard delivery ----------------------------------------------------
+///
+/// Source and destination live on different shards of a sharded engine
+/// (DESIGN.md §4.11). The timing plan is drawn at initiation from the source
+/// shard's jitter stream; on_staged and on_acked run on the source shard at
+/// their planned times, and only the delivery itself crosses shards, staged
+/// into the destination's inbox via Engine::post_for(). Best-effort delivery
+/// cannot fail, so the ack is scheduled at plan time — and deliver_at >=
+/// now + latency_us >= now + lookahead keeps the conservative-window
+/// contract by construction (the runtime derives the lookahead from the
+/// wire latency).
+
+void Network::deliver_cross(Message message) {
+  const int source = message.header.source;
+  const std::size_t dest = static_cast<std::size_t>(message.header.dest);
+  const std::size_t bytes = message.size_bytes();
+  const std::uint64_t handler =
+      static_cast<std::uint64_t>(message.header.handler);
+  traffic_[dest].messages_in += 1;
+  traffic_[dest].bytes_in += bytes;
+  mailboxes_[dest].push(std::move(message));
+  engine_.unblock(static_cast<int>(dest));
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->record(static_cast<int>(dest), engine_.now(),
+                             obs::FrKind::kDeliver, source, bytes, handler);
+  }
+}
+
+void Network::send_cross(Message message, SendCallbacks callbacks) {
+  const Timing timing = plan(engine_.now(), message.size_bytes());
+  account_send(message);
+  const int dest = message.header.dest;
+  if (callbacks.on_staged) {
+    engine_.post(timing.stage_at, std::move(callbacks.on_staged));
+  }
+  engine_.post_for(dest, timing.deliver_at,
+                   [this, msg = std::move(message)]() mutable {
+                     deliver_cross(std::move(msg));
+                   });
+  if (callbacks.on_acked) {
+    engine_.post(timing.ack_at, std::move(callbacks.on_acked));
+  }
+}
+
+void Network::send_staged_cross(
+    MessageHeader header, std::size_t size_hint,
+    std::function<std::vector<std::uint8_t>()> read,
+    SendCallbacks callbacks) {
+  const Timing timing = plan(engine_.now(), size_hint);
+  // As on the legacy path, the source buffer is read at staging time: the
+  // "overwrite before cofence()" hazard stays real across shards.
+  engine_.post(timing.stage_at,
+               [this, header, timing, read = std::move(read),
+                callbacks = std::move(callbacks)]() mutable {
+                 Message message;
+                 message.header = header;
+                 message.payload = read();
+                 if (callbacks.on_staged) {
+                   callbacks.on_staged();
+                 }
+                 account_send(message);
+                 engine_.post_for(header.dest, timing.deliver_at,
+                                  [this, msg = std::move(message)]() mutable {
+                                    deliver_cross(std::move(msg));
+                                  });
+                 if (callbacks.on_acked) {
+                   engine_.post(timing.ack_at, std::move(callbacks.on_acked));
+                 }
+               });
 }
 
 /// --- reliable-delivery protocol ----------------------------------------------

@@ -40,7 +40,22 @@
 /// on_acked exactly once (at the first acknowledgement), so finish counters
 /// and cofence hazards are oblivious to loss. When the protocol is off, the
 /// seed's bare three-event flight chain runs unchanged.
+///
+/// Sharded engines (DESIGN.md §4.11). When the engine partitions images
+/// across worker threads, a send whose source and destination live on the
+/// same shard takes the legacy path verbatim. A cross-shard send draws its
+/// whole timing plan at initiation from the *source shard's* jitter stream
+/// (one independent stream per shard keeps multi-shard runs deterministic
+/// for a fixed shard count), runs on_staged and on_acked on the source
+/// shard at their planned times, and hands the delivery to the destination
+/// shard through Engine::post_for(), which stages it into that shard's
+/// inbox for the next window merge. deliver_at >= now + latency >= now +
+/// lookahead by construction, so the conservative-window contract holds.
+/// The reliable-delivery protocol mutates shared per-link state on both
+/// sides of a flight and therefore requires an unsharded engine (the
+/// runtime forces shards=1 whenever it is active).
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -108,8 +123,12 @@ class Network {
   const NetworkParams& params() const { return params_; }
   int size() const { return static_cast<int>(mailboxes_.size()); }
 
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
   const ImageTraffic& traffic(int image) const { return traffic_[image]; }
 
   /// Reset the per-image traffic counters (benchmarks call this between
@@ -158,6 +177,13 @@ class Network {
   };
   Timing plan(double now, std::size_t bytes);
 
+  /// The jitter stream timing draws come from: the per-shard stream of the
+  /// calling shard on a sharded engine, the single legacy stream otherwise.
+  Xoshiro256ss& jitter_rng();
+
+  /// True when source and destination images live on different shards.
+  bool cross_shard(int source, int dest) const;
+
   /// One in-flight message. A flight owns the message plus its completion
   /// callbacks and walks the stage → deliver → ack chain as a *single*
   /// self-rescheduling engine event: later phases' sequence numbers are
@@ -183,6 +209,20 @@ class Network {
 
   /// Execute the delivery (and, when ack_at coincides, the ack) now.
   void run_deliver_phase(Flight flight);
+
+  /// --- cross-shard delivery (sharded engines only) --------------------------
+
+  /// send() when source and destination live on different shards.
+  void send_cross(Message message, SendCallbacks callbacks);
+
+  /// send_staged() when source and destination live on different shards.
+  void send_staged_cross(MessageHeader header, std::size_t size_hint,
+                         std::function<std::vector<std::uint8_t>()> read,
+                         SendCallbacks callbacks);
+
+  /// Destination-shard half of a cross-shard send: runs as a staged call on
+  /// the destination shard (mailbox push, unblock, flight-recorder entry).
+  void deliver_cross(Message message);
 
   /// --- reliable-delivery protocol ------------------------------------------
 
@@ -267,10 +307,17 @@ class Network {
   sim::Engine& engine_;
   NetworkParams params_;
   Xoshiro256ss jitter_rng_;
+  /// One jitter stream per shard on a sharded engine (empty otherwise):
+  /// each shard's timing draws are then a pure function of that shard's
+  /// deterministic execution, independent of cross-shard interleaving.
+  std::vector<Xoshiro256ss> shard_jitter_;
   std::vector<Mailbox> mailboxes_;
+  /// traffic_[x] is only ever written by image x's shard (out-fields at the
+  /// source, in-fields at the destination), so plain counters stay safe.
   std::vector<ImageTraffic> traffic_;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t bytes_sent_ = 0;
+  /// Global totals are bumped from every shard: relaxed atomics.
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
 
   // reliable-delivery state (empty when reliable_ is false)
   bool reliable_ = false;

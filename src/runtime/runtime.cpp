@@ -32,9 +32,24 @@ void set_current(Image* image, Runtime* runtime) {
 /// Exit rendezvous: images leave the SPMD body collectively so that no image
 /// tears down while teammates still expect its participation. Implemented as
 /// a shared counter (a runtime service, not a modeled collective).
+///
+/// On a *sharded* engine a bare shared counter would be read at real-time-
+/// racy moments: an image polled awake on one shard could observe arrivals
+/// another shard made "in the future" of its own virtual clock, making the
+/// final wake times — and thus traces and context-switch counts — differ
+/// between identically-seeded runs. The sharded gate is therefore event-
+/// driven: arrivals funnel to image 0's shard as engine events (one
+/// conservative-lookahead hop), and the completed count releases each image
+/// through a per-image flag written only by that image's own shard, so every
+/// predicate read is a deterministic function of virtual time. The unsharded
+/// path keeps the legacy counter verbatim (bit-identical traces).
 struct ExitGate {
   int expected = 0;
+  // legacy (unsharded) path
   int arrived = 0;
+  // sharded path: collect on image 0's shard, release per image
+  int collected = 0;
+  std::unique_ptr<std::atomic<bool>[]> released;
 };
 }  // namespace
 
@@ -63,6 +78,18 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   engine_options.enable_fastpath = options_.sim_fastpath;
   engine_options.backend = options_.sim_backend;
   engine_options.watchdog_quiet_us = options_.watchdog_quiet_us;
+  engine_options.shards = options_.shards;
+  // The conservative lookahead for sharded execution is the network's wire
+  // latency: a cross-shard delivery can never land earlier than one latency
+  // after its send (net/network.hpp). The reliable-delivery protocol mutates
+  // shared per-link state on both endpoints of a flight, and the obs span
+  // recorder is single-threaded, so either forces lookahead 0 — and the
+  // engine falls back to one shard whenever no positive lookahead exists
+  // (that also covers zero-latency "instant" networks).
+  const bool sharding_safe =
+      !options_.net.reliable_delivery() && !options_.obs.enabled;
+  engine_options.lookahead_us =
+      sharding_safe ? options_.net.latency_us : 0.0;
   engine_ = std::make_unique<sim::Engine>(options_.num_images,
                                           std::move(engine_options));
   network_ = std::make_unique<net::Network>(*engine_, options_.net,
@@ -115,6 +142,10 @@ void Runtime::run(const std::function<void()>& body) {
 
   auto gate = std::make_shared<ExitGate>();
   gate->expected = num_images();
+  if (engine_->sharded()) {
+    gate->released =
+        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(num_images()));
+  }
 
   engine_->run([this, &body, gate](int id) {
     Image* image = images_[static_cast<std::size_t>(id)].get();
@@ -124,16 +155,44 @@ void Runtime::run(const std::function<void()>& body) {
       // Collective exit: wait until every image finished its body so that
       // in-flight messages (e.g. steals landing on an already-done image)
       // still find a live progress engine.
-      gate->arrived += 1;
-      if (gate->arrived == gate->expected) {
-        for (int rank = 0; rank < num_images(); ++rank) {
-          if (rank != id) {
-            engine_->unblock(rank);
+      if (!engine_->sharded()) {
+        gate->arrived += 1;
+        if (gate->arrived == gate->expected) {
+          for (int rank = 0; rank < num_images(); ++rank) {
+            if (rank != id) {
+              engine_->unblock(rank);
+            }
           }
+        } else {
+          image->wait_for(
+              [&] { return gate->arrived == gate->expected; },
+              "exit rendezvous",
+              obs::ResourceId{obs::ResourceKind::kExitGate, -1, 0, 0});
         }
       } else {
+        // Funnel the arrival to image 0's shard one lookahead hop ahead (the
+        // cross-shard minimum); the completing arrival fans the release out,
+        // again one hop ahead, through per-image flags that only the target
+        // image's own shard ever writes. Every predicate read below is then
+        // a function of virtual time alone.
+        sim::Engine* eng = engine_.get();
+        const double hop = eng->lookahead_us();
+        const int n = num_images();
+        eng->post_for(0, eng->now() + hop, [gate, eng, hop, n] {
+          gate->collected += 1;
+          if (gate->collected == gate->expected) {
+            for (int rank = 0; rank < n; ++rank) {
+              eng->post_for(rank, eng->now() + hop, [gate, eng, rank] {
+                gate->released[rank].store(true, std::memory_order_release);
+                eng->unblock(rank);
+              });
+            }
+          }
+        });
         image->wait_for(
-            [&] { return gate->arrived == gate->expected; },
+            [&] {
+              return gate->released[id].load(std::memory_order_acquire);
+            },
             "exit rendezvous",
             obs::ResourceId{obs::ResourceKind::kExitGate, -1, 0, 0});
       }
@@ -337,6 +396,8 @@ obs::Postmortem Runtime::dump_postmortem() {
 }
 
 SplitOp& Runtime::split_op(int team_id, std::uint32_t seq, int expected) {
+  // Caller holds split_mutex() (see runtime.hpp). References stay valid
+  // across unlocks: std::map nodes are stable until gc_split_op erases them.
   SplitOp& op = splits_[{team_id, seq}];
   if (op.expected == 0) {
     op.expected = expected;

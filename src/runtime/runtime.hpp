@@ -10,9 +10,11 @@
 /// handlers and executes `body` SPMD on every image.
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "net/network.hpp"
@@ -31,10 +33,15 @@ namespace caf2::rt {
 using HandlerFn = std::function<void(Image&, net::Message&&)>;
 
 /// Rendezvous state of one team_split call (keyed by team + split sequence).
+/// All fields except `computed` are only touched under Runtime::split_mutex();
+/// `computed` is the publication flag the waiting members poll from their own
+/// threads (on a sharded engine those are different OS threads), so it is an
+/// acquire/release atomic: everything written before the release store —
+/// entries, results, team ids — is visible to a member that observes true.
 struct SplitOp {
   int expected = 0;
   int contributed = 0;
-  bool computed = false;
+  std::atomic<bool> computed{false};
   /// (color, key) per old-team rank.
   std::map<int, std::pair<int, int>> entries;
   /// Result per old-team rank (null for members that passed a negative
@@ -104,7 +111,12 @@ class Runtime {
   const HandlerFn& handler(net::HandlerId id) const;
 
   /// --- team-split rendezvous (shared service) -------------------------------
+  ///
+  /// The split tables are shared across every image; on a sharded engine the
+  /// contributing images run on different OS threads, so all three calls
+  /// below require the caller to hold split_mutex() (Team::split does).
 
+  std::mutex& split_mutex() { return split_mutex_; }
   SplitOp& split_op(int team_id, std::uint32_t seq, int expected);
   void gc_split_op(int team_id, std::uint32_t seq);
   int allocate_team_ids(int count);
@@ -117,6 +129,7 @@ class Runtime {
   std::unique_ptr<obs::FlightRecorder> flight_recorder_;
   std::vector<std::unique_ptr<Image>> images_;
   std::map<net::HandlerId, HandlerFn> handlers_;
+  std::mutex split_mutex_;
   std::map<std::pair<int, std::uint32_t>, SplitOp> splits_;
   std::map<std::pair<int, std::uint32_t>, int> split_done_count_;
   int next_team_id_ = 1;  // 0 is team_world

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "runtime/image.hpp"
 #include "runtime/runtime.hpp"
@@ -58,6 +59,9 @@ Team Team::split(int color, int key) const {
 
   const std::uint32_t seq =
       image.next_split_seq(parent.id);
+  // The split tables are shared across images; on a sharded engine the
+  // members contribute from different OS threads (runtime.hpp, SplitOp).
+  std::unique_lock<std::mutex> split_lock(runtime.split_mutex());
   rt::SplitOp& op = runtime.split_op(
       parent.id, seq, static_cast<int>(parent.members.size()));
   op.entries[parent.my_rank] = {color, key};
@@ -96,23 +100,28 @@ Team Team::split(int color, int key) const {
         op.results[members[new_rank].second] = std::move(data);
       }
     }
-    op.computed = true;
+    op.computed.store(true, std::memory_order_release);
+    split_lock.unlock();
     for (int world : parent.members) {
       runtime.engine().unblock(world);
     }
   } else {
-    image.wait_for([&op] { return op.computed; }, "team_split",
-                   obs::ResourceId{obs::ResourceKind::kSplit, -1,
-                                   static_cast<std::uint64_t>(parent.id),
-                                   seq});
+    split_lock.unlock();
+    image.wait_for(
+        [&op] { return op.computed.load(std::memory_order_acquire); },
+        "team_split",
+        obs::ResourceId{obs::ResourceKind::kSplit, -1,
+                        static_cast<std::uint64_t>(parent.id), seq});
   }
 
+  split_lock.lock();
   std::shared_ptr<const TeamData> mine;
   auto it = op.results.find(parent.my_rank);
   if (it != op.results.end()) {
     mine = it->second;
   }
   runtime.gc_split_op(parent.id, seq);
+  split_lock.unlock();
 
   runtime.engine().advance(
       split_cost_us(static_cast<int>(parent.members.size()),

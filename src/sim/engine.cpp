@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "obs/obs.hpp"
@@ -29,11 +30,35 @@ ExecBackend resolve_backend(ExecBackend configured) {
   return backend;
 }
 
+int resolve_shards(int configured) {
+  if (configured >= 1) {
+    return configured;  // an explicit request always wins over the env
+  }
+  if (const char* env = std::getenv("CAF2_SIM_SHARDS");
+      env != nullptr && *env != '\0') {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) {
+      return parsed;
+    }
+  }
+  return 1;
+}
+
 namespace {
 /// The calling context's identity. Participant threads own theirs for the
 /// whole run; the fiber scheduler swaps it on every fiber switch (the
 /// suspended copy lives in Participant::context).
 thread_local ExecContext tls_context;
+
+/// The shard the calling OS thread works for (multi-shard runs only). Set by
+/// shard workers for their whole tenure and by participant threads in the
+/// thread backend; fiber switches never change the OS thread, so unlike
+/// tls_context this needs no swapping.
+struct ShardTls {
+  Engine* engine = nullptr;
+  int index = 0;
+};
+thread_local ShardTls tls_shard;
 }  // namespace
 
 Engine* Engine::current_engine() { return tls_context.engine; }
@@ -55,11 +80,42 @@ Engine::Engine(int participants, EngineOptions options)
     fastpath_ = false;
   }
   backend_ = resolve_backend(options_.backend);
+
+  int shard_count = resolve_shards(options_.shards);
+  lookahead_ = options_.lookahead_us;
+  if (lookahead_ <= 0.0) {
+    shard_count = 1;  // no conservative window exists -> serial execution
+  }
+  shard_count = std::min(shard_count, participants);
+  sharded_ = shard_count > 1;
+  if (!sharded_) {
+    lookahead_ = 0.0;
+  }
+
   participants_.reserve(static_cast<std::size_t>(participants));
   for (int i = 0; i < participants; ++i) {
     auto participant = std::make_unique<Participant>();
     participant->id = i;
     participants_.push_back(std::move(participant));
+  }
+
+  // Contiguous partition; the first `participants % shard_count` shards take
+  // one extra participant.
+  shards_.reserve(static_cast<std::size_t>(shard_count));
+  shard_index_.resize(static_cast<std::size_t>(participants));
+  const int base = participants / shard_count;
+  const int extra = participants % shard_count;
+  int first = 0;
+  for (int s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->first = first;
+    shard->count = base + (s < extra ? 1 : 0);
+    for (int p = first; p < first + shard->count; ++p) {
+      shard_index_[static_cast<std::size_t>(p)] = s;
+    }
+    first += shard->count;
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -68,28 +124,96 @@ Engine::~Engine() {
   // run() was never called.
 }
 
-void Engine::record(TraceKind kind, int participant) {
+Engine::Shard& Engine::calling_shard() {
+  if (sharded_ && tls_shard.engine == this) {
+    return *shards_[static_cast<std::size_t>(tls_shard.index)];
+  }
+  return *shards_[0];
+}
+
+int Engine::current_shard() const {
+  if (!sharded_) {
+    return tls_context.engine == this ? 0 : -1;
+  }
+  return tls_shard.engine == this ? tls_shard.index : -1;
+}
+
+double Engine::now() const {
+  if (!sharded_) {
+    return shards_[0]->now_us.load(std::memory_order_relaxed);
+  }
+  if (tls_shard.engine == this) {
+    return shards_[static_cast<std::size_t>(tls_shard.index)]->now_us.load(
+        std::memory_order_relaxed);
+  }
+  double latest = 0.0;
+  for (const auto& shard : shards_) {
+    latest = std::max(latest, shard->now_us.load(std::memory_order_relaxed));
+  }
+  return latest;
+}
+
+std::uint64_t Engine::total_dispatched() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->dispatched.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Engine::event_count() const { return total_dispatched(); }
+
+std::uint64_t Engine::context_switch_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->context_switches.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Engine::trace_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->trace_dropped;
+  }
+  return total;
+}
+
+std::uint64_t Engine::window_count() const { return windows_; }
+
+std::uint64_t Engine::window_stall_count() const { return window_stalls_; }
+
+std::vector<std::uint64_t> Engine::shard_event_counts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    counts.push_back(shard->dispatched.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+void Engine::record(Shard& shard, TraceKind kind, int participant) {
   if (!options_.record_trace) {
     return;
   }
   if (options_.max_trace_entries != 0 &&
-      trace_.size() >= options_.max_trace_entries) {
-    ++trace_dropped_;
+      shard.trace.size() >= options_.max_trace_entries) {
+    ++shard.trace_dropped;
     return;
   }
-  trace_.push_back(TraceEntry{trace_.size(),
-                              now_us_.load(std::memory_order_relaxed), kind,
-                              participant});
+  shard.trace.push_back(TraceEntry{shard.trace.size(),
+                                   shard.now_us.load(std::memory_order_relaxed),
+                                   kind, participant});
 }
 
 void Engine::fail_locked(std::unique_lock<std::mutex>& lock,
                          const std::string& why) {
   (void)lock;
-  if (failed_) {
+  if (failed()) {
     return;
   }
-  failed_ = true;
   failure_reason_ = options_.label + ": " + why;
+  failed_.store(true, std::memory_order_release);
   if (backend_ == ExecBackend::kThreads) {
     for (auto& participant : participants_) {
       participant->cv.notify_all();
@@ -104,9 +228,15 @@ std::shared_ptr<const obs::Postmortem> Engine::build_postmortem_locked(
   pm->kind = kind;
   pm->headline = headline;
   pm->label = options_.label;
-  pm->now_us = now_us_.load(std::memory_order_relaxed);
-  pm->events = dispatched_.load(std::memory_order_relaxed);
-  pm->pending_calls = call_pool_.size() - free_slots_.size();
+  double now = 0.0;
+  std::uint64_t pending_calls = 0;
+  for (const auto& shard : shards_) {
+    now = std::max(now, shard->now_us.load(std::memory_order_relaxed));
+    pending_calls += shard->call_pool.size() - shard->free_slots.size();
+  }
+  pm->now_us = now;
+  pm->events = total_dispatched();
+  pm->pending_calls = pending_calls;
   pm->images = size();
   pm->per_image.reserve(participants_.size());
   for (const auto& participant : participants_) {
@@ -163,11 +293,52 @@ std::shared_ptr<const obs::Postmortem> Engine::build_postmortem_locked(
 void Engine::fail_report_locked(std::unique_lock<std::mutex>& lock,
                                 obs::FailKind kind,
                                 const std::string& headline) {
-  if (failed_) {
+  if (failed()) {
     return;  // the first failure's postmortem wins
   }
   last_postmortem_ = build_postmortem_locked(kind, headline);
   fail_locked(lock, obs::to_text(*last_postmortem_));
+}
+
+void Engine::fail_pending(obs::FailKind kind, const std::string& headline,
+                          std::exception_ptr participant_error,
+                          bool callback_error) {
+  std::lock_guard<std::mutex> guard(fail_mutex_);
+  if (!failed()) {
+    pending_fail_kind_ = kind;
+    pending_fail_headline_ = headline;
+    pending_fail_is_callback_ = callback_error;
+    if (participant_error && !first_error_) {
+      first_error_ = participant_error;
+    }
+    failed_.store(true, std::memory_order_release);
+  } else if (participant_error && !first_error_) {
+    first_error_ = participant_error;
+  }
+}
+
+void Engine::finish_failure_locked() {
+  if (!last_postmortem_) {
+    last_postmortem_ =
+        build_postmortem_locked(pending_fail_kind_, pending_fail_headline_);
+    failure_reason_ = options_.label + ": " + obs::to_text(*last_postmortem_);
+  }
+  {
+    std::lock_guard<std::mutex> guard(fail_mutex_);
+    if (!first_error_) {
+      // Synthesize the error every participant will surface so the exception
+      // run() rethrows is deterministic (with live workers, "first
+      // participant to unwind" would be a race). Callback failures mirror
+      // the single-shard message (label + headline); everything else carries
+      // the full postmortem rendering.
+      const std::string what = pending_fail_is_callback_
+                                   ? options_.label + ": " + pending_fail_headline_
+                                   : failure_reason_;
+      first_error_ =
+          std::make_exception_ptr(obs::StallError(what, last_postmortem_));
+    }
+  }
+  shutdown_ready_.store(true, std::memory_order_release);
 }
 
 void Engine::throw_failure() const {
@@ -196,85 +367,158 @@ void Engine::fail(const std::string& why) {
 }
 
 void Engine::fail(const std::string& why, obs::FailKind kind) {
-  auto lock = lock_gate();
+  if (sharded_ && !quiesced_.load(std::memory_order_acquire)) {
+    // Other shards are executing: record the failure now, collect the
+    // postmortem at the next window barrier where every shard is quiesced.
+    fail_pending(kind, why, nullptr, false);
+    return;
+  }
+  auto lock = lock_gate(*shards_[0]);
   fail_report_locked(lock, kind, why);
 }
 
 void Engine::set_diagnostics(std::function<std::string()> fn) {
-  auto lock = lock_gate();
+  auto lock = lock_gate(*shards_[0]);
   diagnostics_ = std::move(fn);
 }
 
 void Engine::set_postmortem_collector(PostmortemCollector fn) {
-  auto lock = lock_gate();
+  auto lock = lock_gate(*shards_[0]);
   collector_ = std::move(fn);
 }
 
 obs::Postmortem Engine::snapshot_postmortem(const std::string& headline) {
-  auto lock = lock_gate();
-  return *build_postmortem_locked(obs::FailKind::kOnDemand, headline);
+  if (!sharded_ || quiesced_.load(std::memory_order_acquire)) {
+    auto lock = lock_gate(*shards_[0]);
+    return *build_postmortem_locked(obs::FailKind::kOnDemand, headline);
+  }
+  // Mid-run snapshot of a sharded engine: other shards are executing, so
+  // per-participant state and the collector's sections cannot be read
+  // race-free. Report the engine-level counters only.
+  obs::Postmortem pm;
+  pm.kind = obs::FailKind::kOnDemand;
+  pm.headline = headline;
+  pm.label = options_.label;
+  pm.now_us = now();
+  pm.events = total_dispatched();
+  pm.images = size();
+  pm.classification = obs::classify(obs::FailKind::kOnDemand, false);
+  pm.collector_error =
+      "sharded run in progress: per-image state and collector sections "
+      "unavailable";
+  return pm;
 }
 
-std::uint32_t Engine::acquire_slot(InlineFn fn) {
-  if (!free_slots_.empty()) {
-    const std::uint32_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    call_pool_[slot] = std::move(fn);
+std::uint32_t Engine::acquire_slot(Shard& shard, InlineFn fn) {
+  if (!shard.free_slots.empty()) {
+    const std::uint32_t slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
+    shard.call_pool[slot] = std::move(fn);
     return slot;
   }
-  const std::uint32_t slot = static_cast<std::uint32_t>(call_pool_.size());
-  call_pool_.push_back(std::move(fn));
+  const std::uint32_t slot = static_cast<std::uint32_t>(shard.call_pool.size());
+  shard.call_pool.push_back(std::move(fn));
   return slot;
 }
 
-void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
+std::string Engine::describe_callback_error(
+    Participant* dispatcher, const std::exception_ptr& error) const {
+  const std::string who =
+      dispatcher != nullptr ? "participant " + std::to_string(dispatcher->id)
+                            : std::string("the scheduler");
+  std::string what = "engine callback (dispatched from " + who + ")";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    what += " raised: ";
+    what += e.what();
+  } catch (...) {
+    what += " raised a non-standard exception";
+  }
+  return what;
+}
+
+void Engine::shard_idle_locked(Shard& shard) {
+  shard.window_idle = true;
+  if (backend_ == ExecBackend::kThreads) {
+    shard.idle_cv.notify_one();
+  }
+}
+
+void Engine::dispatch_chain(Shard& shard, std::unique_lock<std::mutex>& lock,
                             Participant* dispatcher) {
   for (;;) {
-    if (failed_) {
+    if (failed()) {
+      if (sharded_) {
+        shard_idle_locked(shard);
+      }
       return;
     }
-    if (finished_count_ == size()) {
-      done_cv_.notify_all();
+    if (shard.finished_count == shard.count) {
+      if (sharded_) {
+        shard_idle_locked(shard);
+      } else {
+        done_cv_.notify_all();
+      }
       return;
     }
-    if (heap_.empty()) {
-      fail_report_locked(lock, obs::FailKind::kDeadlock,
-                         "deadlock: no pending events and every "
-                         "unfinished participant is blocked");
-      return;
-    }
-    if (options_.max_events != 0 &&
-        dispatched_.load(std::memory_order_relaxed) >= options_.max_events) {
-      fail_report_locked(lock, obs::FailKind::kEventBudget,
-                         "simulation event budget exceeded");
-      return;
-    }
-    if (options_.watchdog_quiet_us > 0.0 &&
-        heap_.top().at > now_us_.load(std::memory_order_relaxed) +
-                             options_.watchdog_quiet_us &&
-        all_unfinished_blocked_locked()) {
-      std::ostringstream os;
-      os << "watchdog: every image is blocked and no event is due within "
-         << options_.watchdog_quiet_us << " us (next event at t="
-         << heap_.top().at << " us)";
-      fail_report_locked(lock, obs::FailKind::kQuietWatchdog, os.str());
-      return;
+    if (sharded_) {
+      // An exhausted shard is not a deadlock: other shards may still feed
+      // this one at the next window merge. The barrier performs the global
+      // deadlock / budget / watchdog checks with every shard quiesced.
+      if (shard.heap.empty() ||
+          shard.heap.top().at >= window_end_.load(std::memory_order_relaxed)) {
+        shard_idle_locked(shard);
+        return;
+      }
+      if (options_.max_events != 0 &&
+          total_dispatched() >= options_.max_events) {
+        shard_idle_locked(shard);
+        return;
+      }
+    } else {
+      if (shard.heap.empty()) {
+        fail_report_locked(lock, obs::FailKind::kDeadlock,
+                           "deadlock: no pending events and every "
+                           "unfinished participant is blocked");
+        return;
+      }
+      if (options_.max_events != 0 &&
+          shard.dispatched.load(std::memory_order_relaxed) >=
+              options_.max_events) {
+        fail_report_locked(lock, obs::FailKind::kEventBudget,
+                           "simulation event budget exceeded");
+        return;
+      }
+      if (options_.watchdog_quiet_us > 0.0 &&
+          shard.heap.top().at >
+              shard.now_us.load(std::memory_order_relaxed) +
+                  options_.watchdog_quiet_us &&
+          all_unfinished_blocked_locked()) {
+        std::ostringstream os;
+        os << "watchdog: every image is blocked and no event is due within "
+           << options_.watchdog_quiet_us << " us (next event at t="
+           << shard.heap.top().at << " us)";
+        fail_report_locked(lock, obs::FailKind::kQuietWatchdog, os.str());
+        return;
+      }
     }
 
-    const Event event = heap_.top();
-    heap_.pop();
-    dispatched_.fetch_add(1, std::memory_order_relaxed);
-    now_us_.store(std::max(now_us_.load(std::memory_order_relaxed), event.at),
-                  std::memory_order_relaxed);
+    const Event event = shard.heap.top();
+    shard.heap.pop();
+    shard.dispatched.fetch_add(1, std::memory_order_relaxed);
+    shard.now_us.store(
+        std::max(shard.now_us.load(std::memory_order_relaxed), event.at),
+        std::memory_order_relaxed);
 
     if (event.call_slot != kNoSlot) {
-      record(TraceKind::kCall, -1);
+      record(shard, TraceKind::kCall, -1);
       // Callbacks (network staging, deliveries, timers) run with the engine
-      // lock released. No participant holds the token here, so callbacks may
-      // freely mutate cross-participant runtime state (mailboxes, counters)
-      // without racing.
-      InlineFn fn = std::move(call_pool_[event.call_slot]);
-      free_slots_.push_back(event.call_slot);
+      // lock released. No participant of this shard holds the token here, so
+      // callbacks may freely mutate the shard's runtime state (mailboxes,
+      // counters) without racing.
+      InlineFn fn = std::move(shard.call_pool[event.call_slot]);
+      shard.free_slots.push_back(event.call_slot);
       std::exception_ptr error;
       if (lock.mutex() != nullptr) {
         lock.unlock();
@@ -285,28 +529,26 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
         error = std::current_exception();
       }
       fn.reset();  // destroy the closure before retaking the lock
+      if (error && sharded_) {
+        // fail_pending must not run under a shard gate; we are unlocked here.
+        fail_pending(obs::FailKind::kCallbackError,
+                     describe_callback_error(dispatcher, error), nullptr,
+                     /*callback_error=*/true);
+      }
       if (lock.mutex() != nullptr) {
         lock.lock();
       }
       if (error) {
+        if (sharded_) {
+          shard_idle_locked(shard);
+          return;
+        }
         // A throwing callback must not propagate through whoever happens to
         // be dispatching (from run()'s chain it would escape with
         // participant threads still live). Convert it into an engine
         // failure, tagged with the dispatching context.
         if (!first_error_) {
-          const std::string who =
-              dispatcher != nullptr
-                  ? "participant " + std::to_string(dispatcher->id)
-                  : std::string("the scheduler");
-          std::string what = "engine callback (dispatched from " + who + ")";
-          try {
-            std::rethrow_exception(error);
-          } catch (const std::exception& e) {
-            what += " raised: ";
-            what += e.what();
-          } catch (...) {
-            what += " raised a non-standard exception";
-          }
+          const std::string what = describe_callback_error(dispatcher, error);
           fail_report_locked(lock, obs::FailKind::kCallbackError, what);
           first_error_ = std::make_exception_ptr(obs::StallError(
               options_.label + ": " + what, last_postmortem_));
@@ -323,18 +565,18 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
     if (target.state == PState::kFinished || target.active) {
       continue;  // stale wake
     }
-    record(TraceKind::kWake, target.id);
+    record(shard, TraceKind::kWake, target.id);
     target.active = true;
     target.state = PState::kRunnable;
-    if (target.id != token_owner_) {
+    if (target.id != shard.token_owner) {
       // Counted only when the token moves between participants, so the
       // value is a pure function of the dispatch order: identical across
       // backends and with the fast path on or off (a fast-pathed self-wake
       // is exactly a dispatch that keeps the token in place).
-      token_owner_ = target.id;
-      context_switches_.fetch_add(1, std::memory_order_relaxed);
+      shard.token_owner = target.id;
+      shard.context_switches.fetch_add(1, std::memory_order_relaxed);
     }
-    activated_ = &target;
+    shard.activated = &target;
     if (backend_ == ExecBackend::kThreads && &target != dispatcher) {
       target.cv.notify_one();
     }
@@ -342,30 +584,47 @@ void Engine::dispatch_chain(std::unique_lock<std::mutex>& lock,
   }
 }
 
-void Engine::switch_out(std::unique_lock<std::mutex>& lock,
+void Engine::switch_out(Shard& shard, std::unique_lock<std::mutex>& lock,
                         Participant& self) {
   self.active = false;
   if (backend_ == ExecBackend::kFibers) {
-    // Hand control back to the scheduler loop in run_fibers(), which
-    // dispatches the next event. If the run already failed, suspending would
-    // leave this fiber parked forever (the unwind pass resumes each live
-    // fiber exactly once) — throw immediately instead.
-    if (!failed_) {
+    // Hand control back to the shard's scheduler loop, which dispatches the
+    // next event. If the run already failed *and* the failure postmortem is
+    // ready, suspending would leave this fiber parked forever (the unwind
+    // pass resumes each live fiber exactly once) — throw immediately
+    // instead. A sharded run builds the postmortem at the window barrier, so
+    // until shutdown_ready_ the fiber still parks normally and the unwind
+    // pass (which runs only after the barrier completed the failure) picks
+    // it up.
+    if (!failed() || (sharded_ && !shutdown_ready_.load(
+                                      std::memory_order_acquire))) {
       Fiber::suspend();
     }
-    if (failed_) {
+    if (failed()) {
       throw_failure();
     }
     self.state = PState::kRunnable;
     self.block_reason.clear();
     return;
   }
-  dispatch_chain(lock, &self);
-  while (!self.active && !failed_) {
-    self.cv.wait(lock);
-  }
-  if (failed_) {
-    throw_failure();
+  dispatch_chain(shard, lock, &self);
+  if (!sharded_) {
+    while (!self.active && !failed()) {
+      self.cv.wait(lock);
+    }
+    if (failed()) {
+      throw_failure();
+    }
+  } else {
+    // Parked until re-activated by a dispatch, or until the shutdown
+    // sequence (failure postmortem built at the barrier, coordinator
+    // notifies every participant).
+    while (!self.active) {
+      if (failed() && shutdown_ready_.load(std::memory_order_acquire)) {
+        throw_failure();
+      }
+      self.cv.wait(lock);
+    }
   }
   self.state = PState::kRunnable;
   self.block_reason.clear();
@@ -377,121 +636,337 @@ void Engine::advance(double dt) {
   CAF2_REQUIRE(dt >= 0.0, "advance() needs a non-negative duration");
   Participant& self = *participants_[tls_context.id];
   CAF2_ASSERT(self.active, "advance() caller does not hold the token");
+  Shard& shard = home_shard(self.id);
 
-  // Self-wake fast path: the caller holds the token, so every engine field
+  // Self-wake fast path: the caller holds the token, so every shard field
   // below is owned by this context until the token is handed off through the
   // gate (which publishes these plain writes). If the wake we are about to
-  // schedule — (target, next_seq_) — would be the very next event dispatched,
+  // schedule — (target, next_seq) — would be the very next event dispatched,
   // and the event budget permits dispatching it, skip the heap round-trip
   // and the switch_out() handoff entirely. Ties at `target` go to the heap
   // (existing events hold smaller sequence numbers), so the strict `>`
   // comparison is exact, and the recorded trace (kAdvance then kWake) is
-  // bit-identical to the slow path's.
-  if (fastpath_ && !failed_ &&
-      (heap_.empty() || heap_.top().at > now_us_.load(std::memory_order_relaxed) + dt) &&
+  // bit-identical to the slow path's. In a sharded run the jump must also
+  // stay strictly inside the conservative window — the shard clock may never
+  // reach window_end, or later cross-shard merges could land in its past.
+  if (fastpath_ && !failed() &&
+      (shard.heap.empty() ||
+       shard.heap.top().at >
+           shard.now_us.load(std::memory_order_relaxed) + dt) &&
+      (!sharded_ ||
+       shard.now_us.load(std::memory_order_relaxed) + dt <
+           window_end_.load(std::memory_order_relaxed)) &&
       (options_.max_events == 0 ||
-       dispatched_.load(std::memory_order_relaxed) < options_.max_events)) {
-    record(TraceKind::kAdvance, self.id);
-    const double target = now_us_.load(std::memory_order_relaxed) + dt;
+       total_dispatched() < options_.max_events)) {
+    record(shard, TraceKind::kAdvance, self.id);
+    const double target = shard.now_us.load(std::memory_order_relaxed) + dt;
     if (observer_ != nullptr && dt > 0.0) {
-      observer_->on_compute(self.id,
-                            now_us_.load(std::memory_order_relaxed), target);
+      observer_->on_compute(
+          self.id, shard.now_us.load(std::memory_order_relaxed), target);
     }
-    ++next_seq_;  // the sequence number the slow path's wake would consume
-    dispatched_.fetch_add(1, std::memory_order_relaxed);
-    now_us_.store(target, std::memory_order_relaxed);
-    record(TraceKind::kWake, self.id);
+    ++shard.next_seq;  // the number the slow path's wake would consume
+    shard.dispatched.fetch_add(1, std::memory_order_relaxed);
+    shard.now_us.store(target, std::memory_order_relaxed);
+    record(shard, TraceKind::kWake, self.id);
     return;
   }
 
-  auto lock = lock_gate();
-  record(TraceKind::kAdvance, self.id);
-  const double target = now_us_.load(std::memory_order_relaxed) + dt;
+  auto lock = lock_gate(shard);
+  record(shard, TraceKind::kAdvance, self.id);
+  const double target = shard.now_us.load(std::memory_order_relaxed) + dt;
   if (observer_ != nullptr && dt > 0.0) {
-    observer_->on_compute(self.id, now_us_.load(std::memory_order_relaxed),
-                          target);
+    observer_->on_compute(self.id,
+                          shard.now_us.load(std::memory_order_relaxed), target);
   }
-  heap_.push(Event{target, next_seq_++, self.id, kNoSlot});
+  shard.heap.push(Event{target, shard.next_seq++, self.id, kNoSlot});
   // Stray wakes (e.g. an unblock() from a completion callback) can activate
   // this participant before its scheduled resume time; modeled computation
   // must not finish early, so re-relinquish until the clock reaches the
   // target (the scheduled wake is still in the heap).
   do {
-    switch_out(lock, self);
-  } while (now_us_.load(std::memory_order_relaxed) < target);
+    switch_out(shard, lock, self);
+  } while (shard.now_us.load(std::memory_order_relaxed) < target);
 }
 
 void Engine::block(const char* reason) {
   CAF2_REQUIRE(tls_context.engine == this && tls_context.id >= 0,
                "block() must be called from a participant context");
   Participant& self = *participants_[tls_context.id];
-  auto lock = lock_gate();
+  Shard& shard = home_shard(self.id);
+  auto lock = lock_gate(shard);
   CAF2_ASSERT(self.active, "block() caller does not hold the token");
-  record(TraceKind::kBlock, self.id);
+  record(shard, TraceKind::kBlock, self.id);
   if (observer_ != nullptr) {
-    observer_->on_block_begin(self.id,
-                              now_us_.load(std::memory_order_relaxed), reason);
+    observer_->on_block_begin(
+        self.id, shard.now_us.load(std::memory_order_relaxed), reason);
   }
   self.state = PState::kWaiting;
   self.block_reason = reason;
-  switch_out(lock, self);
+  switch_out(shard, lock, self);
   // switch_out throws on engine failure, harmlessly abandoning the pending
   // blocked span.
   if (observer_ != nullptr) {
-    observer_->on_block_end(self.id, now_us_.load(std::memory_order_relaxed));
+    observer_->on_block_end(self.id,
+                            shard.now_us.load(std::memory_order_relaxed));
   }
 }
 
 void Engine::unblock(int participant) {
   CAF2_REQUIRE(participant >= 0 && participant < size(),
                "unblock(): participant id out of range");
-  auto lock = lock_gate();
+  if (sharded_) {
+    const int dest = shard_of(participant);
+    if (tls_shard.engine != this || tls_shard.index != dest) {
+      CAF2_REQUIRE(tls_shard.engine == this,
+                   "cross-shard unblock() outside an engine context");
+      // Cross-shard wake: stage into the owner's inbox without peeking at
+      // the target's state (that would race); stale wakes are filtered at
+      // dispatch, exactly like same-shard ones. The timestamp is clamped to
+      // the destination clock at merge time.
+      Shard& src = *shards_[static_cast<std::size_t>(tls_shard.index)];
+      cross_post(dest, src.now_us.load(std::memory_order_relaxed), participant,
+                 InlineFn());
+      return;
+    }
+  }
+  Shard& shard = home_shard(participant);
+  auto lock = lock_gate(shard);
   Participant& target = *participants_[participant];
   if (target.state == PState::kFinished || target.active) {
     return;
   }
-  heap_.push(Event{now_us_.load(std::memory_order_relaxed), next_seq_++,
-                   participant, kNoSlot});
+  shard.heap.push(Event{shard.now_us.load(std::memory_order_relaxed),
+                        shard.next_seq++, participant, kNoSlot});
 }
 
 std::uint64_t Engine::reserve_seq() {
-  auto lock = lock_gate();
-  return next_seq_++;
+  Shard& shard = calling_shard();
+  auto lock = lock_gate(shard);
+  return shard.next_seq++;
 }
 
 void Engine::post_reserved(double at, std::uint64_t seq, InlineFn fn) {
   CAF2_REQUIRE(static_cast<bool>(fn), "post_reserved() needs a callable");
-  auto lock = lock_gate();
+  Shard& shard = calling_shard();
+  auto lock = lock_gate(shard);
   const double when =
-      std::max(at, now_us_.load(std::memory_order_relaxed));
-  const std::uint32_t slot = acquire_slot(std::move(fn));
-  heap_.push(Event{when, seq, -1, slot});
+      std::max(at, shard.now_us.load(std::memory_order_relaxed));
+  const std::uint32_t slot = acquire_slot(shard, std::move(fn));
+  shard.heap.push(Event{when, seq, -1, slot});
 }
 
 void Engine::post_call(double at, InlineFn fn) {
   CAF2_REQUIRE(static_cast<bool>(fn), "post() needs a callable");
-  auto lock = lock_gate();
+  Shard& shard = calling_shard();
+  auto lock = lock_gate(shard);
   const double when =
-      std::max(at, now_us_.load(std::memory_order_relaxed));
-  const std::uint32_t slot = acquire_slot(std::move(fn));
-  heap_.push(Event{when, next_seq_++, -1, slot});
+      std::max(at, shard.now_us.load(std::memory_order_relaxed));
+  const std::uint32_t slot = acquire_slot(shard, std::move(fn));
+  shard.heap.push(Event{when, shard.next_seq++, -1, slot});
+}
+
+void Engine::post_for_call(int participant, double at, InlineFn fn) {
+  CAF2_REQUIRE(static_cast<bool>(fn), "post_for() needs a callable");
+  CAF2_REQUIRE(participant >= 0 && participant < size(),
+               "post_for(): participant id out of range");
+  if (sharded_) {
+    const int dest = shard_of(participant);
+    if (tls_shard.engine != this || tls_shard.index != dest) {
+      CAF2_REQUIRE(tls_shard.engine == this,
+                   "cross-shard post_for() outside an engine context");
+      Shard& src = *shards_[static_cast<std::size_t>(tls_shard.index)];
+      CAF2_ASSERT(
+          at >= src.now_us.load(std::memory_order_relaxed) + lookahead_ - 1e-9,
+          "cross-shard event violates the conservative lookahead window");
+      cross_post(dest, at, -1, std::move(fn));
+      return;
+    }
+  }
+  post_call(at, std::move(fn));
+}
+
+void Engine::cross_post(int dest_shard, double at,
+                        std::int32_t wake_participant, InlineFn fn) {
+  Shard& src = *shards_[static_cast<std::size_t>(tls_shard.index)];
+  Shard& dst = *shards_[static_cast<std::size_t>(dest_shard)];
+  CrossEvent ev;
+  ev.at = at;
+  // Only the source shard's current token holder (or its dispatcher) stages
+  // cross events, so the per-source counter needs no synchronization.
+  ev.order = src.cross_order++;
+  ev.source_shard = src.index;
+  ev.wake_participant = wake_participant;
+  ev.fn = std::move(fn);
+  std::lock_guard<std::mutex> guard(dst.inbox_mutex);
+  dst.inbox.push_back(std::move(ev));
+}
+
+void Engine::drain_inbox_locked(Shard& shard) {
+  std::vector<CrossEvent> batch;
+  {
+    std::lock_guard<std::mutex> guard(shard.inbox_mutex);
+    batch.swap(shard.inbox);
+  }
+  if (batch.empty()) {
+    return;
+  }
+  // (time, source shard, per-source counter) is a total order — the counter
+  // is unique within a source — so the merged sequence is identical for any
+  // arrival interleaving: multi-shard runs are deterministic for a fixed
+  // shard count.
+  std::sort(batch.begin(), batch.end(),
+            [](const CrossEvent& a, const CrossEvent& b) {
+              if (a.at != b.at) {
+                return a.at < b.at;
+              }
+              if (a.source_shard != b.source_shard) {
+                return a.source_shard < b.source_shard;
+              }
+              return a.order < b.order;
+            });
+  const double local_now = shard.now_us.load(std::memory_order_relaxed);
+  for (auto& ev : batch) {
+    // Clamping wakes to the destination clock keeps every heap entry at or
+    // above the clock, which is what makes the global minimum — and with it
+    // the window end — monotone (DESIGN.md §4.11). Calls are provably
+    // already in the destination's future; the clamp is a no-op for them.
+    const double when = std::max(ev.at, local_now);
+    if (ev.wake_participant >= 0) {
+      shard.heap.push(
+          Event{when, shard.next_seq++, ev.wake_participant, kNoSlot});
+    } else {
+      const std::uint32_t slot = acquire_slot(shard, std::move(ev.fn));
+      shard.heap.push(Event{when, shard.next_seq++, -1, slot});
+    }
+  }
+}
+
+bool Engine::window_rendezvous() {
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  if (sync_done_) {
+    return false;
+  }
+  if (++sync_waiting_ == static_cast<int>(shards_.size())) {
+    sync_waiting_ = 0;
+    const bool cont = advance_window_locked();
+    if (!cont) {
+      sync_done_ = true;
+    }
+    ++sync_generation_;
+    sync_cv_.notify_all();
+    return cont;
+  }
+  const std::uint64_t generation = sync_generation_;
+  sync_cv_.wait(lock, [&] { return sync_generation_ != generation; });
+  return !sync_done_;
+}
+
+bool Engine::advance_window_locked() {
+  // Every shard worker is parked in this rendezvous and every participant is
+  // parked in its shard (the coordinator only arrives once its shard is
+  // quiescent), so all shard state is safe to read and mutate here; the
+  // sync mutex hand-off publishes whatever this thread writes.
+  if (failed()) {
+    finish_failure_locked();
+    return false;
+  }
+  int finished = 0;
+  for (const auto& shard : shards_) {
+    finished += shard->finished_count;
+  }
+  if (finished == size()) {
+    return false;
+  }
+
+  for (auto& shard : shards_) {
+    drain_inbox_locked(*shard);
+  }
+
+  double global_min = std::numeric_limits<double>::infinity();
+  for (const auto& shard : shards_) {
+    if (!shard->heap.empty()) {
+      global_min = std::min(global_min, shard->heap.top().at);
+    }
+  }
+  if (global_min == std::numeric_limits<double>::infinity()) {
+    fail_pending(obs::FailKind::kDeadlock,
+                 "deadlock: no pending events and every "
+                 "unfinished participant is blocked",
+                 nullptr, false);
+    finish_failure_locked();
+    return false;
+  }
+  if (options_.max_events != 0 && total_dispatched() >= options_.max_events) {
+    fail_pending(obs::FailKind::kEventBudget,
+                 "simulation event budget exceeded", nullptr, false);
+    finish_failure_locked();
+    return false;
+  }
+  if (options_.watchdog_quiet_us > 0.0) {
+    double latest = 0.0;
+    for (const auto& shard : shards_) {
+      latest = std::max(latest, shard->now_us.load(std::memory_order_relaxed));
+    }
+    if (global_min > latest + options_.watchdog_quiet_us &&
+        all_unfinished_blocked_locked()) {
+      std::ostringstream os;
+      os << "watchdog: every image is blocked and no event is due within "
+         << options_.watchdog_quiet_us << " us (next event at t=" << global_min
+         << " us)";
+      fail_pending(obs::FailKind::kQuietWatchdog, os.str(), nullptr, false);
+      finish_failure_locked();
+      return false;
+    }
+  }
+
+  // The merge clamp makes global_min non-decreasing across windows, so the
+  // max() is provably a no-op — kept as a defensive invariant: the window
+  // end must never move backwards once shard clocks have entered a window.
+  const double new_end = std::max(window_end_.load(std::memory_order_relaxed),
+                                  global_min + lookahead_);
+  window_end_.store(new_end, std::memory_order_relaxed);
+  ++windows_;
+  for (const auto& shard : shards_) {
+    if (shard->heap.empty() || shard->heap.top().at >= new_end) {
+      ++window_stalls_;
+    }
+  }
+  return true;
 }
 
 void Engine::participant_main(int id, const std::function<void(int)>& body) {
   tls_context = ExecContext{this, id, {}};
   Participant& self = *participants_[id];
+  Shard& shard = home_shard(id);
+  if (sharded_) {
+    tls_shard = ShardTls{this, shard.index};
+  }
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    while (!self.active && !failed_) {
-      self.cv.wait(lock);
-    }
-    if (failed_) {
-      self.state = PState::kFinished;
-      ++finished_count_;
-      done_cv_.notify_all();
-      tls_context = {};
-      return;
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    if (!sharded_) {
+      while (!self.active && !failed()) {
+        self.cv.wait(lock);
+      }
+      if (failed()) {
+        self.state = PState::kFinished;
+        ++shard.finished_count;
+        done_cv_.notify_all();
+        tls_context = {};
+        return;
+      }
+    } else {
+      while (!self.active) {
+        if (failed() && shutdown_ready_.load(std::memory_order_acquire)) {
+          // Never received the token; exit without running the body.
+          self.state = PState::kFinished;
+          ++shard.finished_count;
+          tls_context = {};
+          tls_shard = {};
+          return;
+        }
+        self.cv.wait(lock);
+      }
     }
     self.state = PState::kRunnable;
   }
@@ -503,24 +978,40 @@ void Engine::participant_main(int id, const std::function<void(int)>& body) {
     error = std::current_exception();
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  if (error && sharded_) {
+    // Must run before taking the shard gate (fail_pending's contract).
+    fail_pending(obs::FailKind::kImageError,
+                 "participant raised an exception", error, false);
+  }
+  std::unique_lock<std::mutex> lock(shard.mutex);
   self.state = PState::kFinished;
   self.active = false;
-  ++finished_count_;
-  record(TraceKind::kFinish, id);
-  if (error) {
+  ++shard.finished_count;
+  record(shard, TraceKind::kFinish, id);
+  if (error && !sharded_) {
     if (!first_error_) {
       first_error_ = error;
     }
     fail_report_locked(lock, obs::FailKind::kImageError,
                        "participant raised an exception");
   }
-  if (finished_count_ == size() || failed_) {
-    done_cv_.notify_all();
+  if (!sharded_) {
+    if (shard.finished_count == shard.count || failed()) {
+      done_cv_.notify_all();
+    } else {
+      dispatch_chain(shard, lock, nullptr);
+    }
   } else {
-    dispatch_chain(lock, nullptr);
+    if (shard.finished_count == shard.count || failed()) {
+      shard_idle_locked(shard);
+    } else {
+      dispatch_chain(shard, lock, nullptr);
+    }
   }
   tls_context = {};
+  if (sharded_) {
+    tls_shard = {};
+  }
 }
 
 void Engine::fiber_main(int id, const std::function<void(int)>& body) {
@@ -534,14 +1025,19 @@ void Engine::fiber_main(int id, const std::function<void(int)>& body) {
     error = std::current_exception();
   }
 
-  // Mirrors participant_main's epilogue; the scheduler loop in run_fibers()
-  // takes over dispatching as soon as this entry function returns.
-  auto lock = lock_gate();
+  // Mirrors participant_main's epilogue; the shard's scheduler loop takes
+  // over dispatching as soon as this entry function returns.
+  Shard& shard = home_shard(id);
+  if (error && sharded_) {
+    fail_pending(obs::FailKind::kImageError,
+                 "participant raised an exception", error, false);
+  }
+  auto lock = lock_gate(shard);
   self.state = PState::kFinished;
   self.active = false;
-  ++finished_count_;
-  record(TraceKind::kFinish, id);
-  if (error) {
+  ++shard.finished_count;
+  record(shard, TraceKind::kFinish, id);
+  if (error && !sharded_) {
     if (!first_error_) {
       first_error_ = error;
     }
@@ -558,30 +1054,32 @@ void Engine::resume_fiber(Participant& target) {
   tls_context = saved;
 }
 
-void Engine::unwind_live_fibers() {
-  for (auto& participant : participants_) {
-    if (participant->state == PState::kFinished) {
+void Engine::unwind_live_fibers(Shard& shard) {
+  for (int p = shard.first; p < shard.first + shard.count; ++p) {
+    Participant& participant = *participants_[p];
+    if (participant.state == PState::kFinished) {
       continue;
     }
-    if (!participant->fiber->started()) {
+    if (!participant.fiber->started()) {
       // Never received the token: the thread backend's participant_main
       // exits without running the body (and without a kFinish record).
-      participant->state = PState::kFinished;
-      participant->active = false;
-      ++finished_count_;
+      participant.state = PState::kFinished;
+      participant.active = false;
+      ++shard.finished_count;
       continue;
     }
     // The fiber is parked inside switch_out(); one resume lets it observe
     // failed_, throw, and unwind its body. switch_out() refuses to suspend
-    // once failed_ is set, so this resume returns only when the fiber has
-    // finished.
-    resume_fiber(*participant);
-    CAF2_ASSERT(participant->fiber->finished(),
+    // once the failure is ready, so this resume returns only when the fiber
+    // has finished.
+    resume_fiber(participant);
+    CAF2_ASSERT(participant.fiber->finished(),
                 "fiber survived failure unwinding");
   }
 }
 
 void Engine::run_fibers(const std::function<void(int)>& body) {
+  Shard& shard = *shards_[0];
   for (auto& participant : participants_) {
     participant->context = ExecContext{this, participant->id, {}};
     participant->fiber = std::make_unique<Fiber>(
@@ -593,17 +1091,17 @@ void Engine::run_fibers(const std::function<void(int)>& body) {
   // onto its fiber, repeat when it suspends or finishes. Single-threaded by
   // construction, so `gate` is an empty lock (see lock_gate()).
   std::unique_lock<std::mutex> gate;
-  while (finished_count_ < size() && !failed_) {
-    dispatch_chain(gate, nullptr);
-    Participant* target = activated_;
-    activated_ = nullptr;
+  while (shard.finished_count < size() && !failed()) {
+    dispatch_chain(shard, gate, nullptr);
+    Participant* target = shard.activated;
+    shard.activated = nullptr;
     if (target == nullptr) {
       break;  // failed, or everyone finished during the chain
     }
     resume_fiber(*target);
   }
-  if (failed_) {
-    unwind_live_fibers();
+  if (failed()) {
+    unwind_live_fibers(shard);
   }
   for (auto& participant : participants_) {
     participant->fiber.reset();
@@ -611,6 +1109,7 @@ void Engine::run_fibers(const std::function<void(int)>& body) {
 }
 
 void Engine::run_threads(const std::function<void(int)>& body) {
+  Shard& shard = *shards_[0];
   for (auto& participant : participants_) {
     participant->thread =
         std::thread([this, id = participant->id, &body] {
@@ -619,15 +1118,16 @@ void Engine::run_threads(const std::function<void(int)>& body) {
   }
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    dispatch_chain(lock, nullptr);  // hand the token to participant 0
-    done_cv_.wait(lock, [this] {
-      return finished_count_ == size() || failed_;
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    dispatch_chain(shard, lock, nullptr);  // hand the token to participant 0
+    done_cv_.wait(lock, [this, &shard] {
+      return shard.finished_count == size() || failed();
     });
-    if (failed_) {
+    if (failed()) {
       // Every live participant will observe failed_ at its next engine call
       // (or is already being notified) and unwind.
-      done_cv_.wait(lock, [this] { return finished_count_ == size(); });
+      done_cv_.wait(lock,
+                    [this, &shard] { return shard.finished_count == size(); });
     }
   }
 
@@ -638,26 +1138,154 @@ void Engine::run_threads(const std::function<void(int)>& body) {
   }
 }
 
+void Engine::shard_worker_fibers(Shard& shard,
+                                 const std::function<void(int)>& body) {
+  tls_shard = ShardTls{this, shard.index};
+  for (int p = shard.first; p < shard.first + shard.count; ++p) {
+    Participant& participant = *participants_[p];
+    participant.context = ExecContext{this, p, {}};
+    participant.fiber = std::make_unique<Fiber>(
+        options_.fiber_stack_bytes, [this, p, &body] { fiber_main(p, body); });
+  }
+
+  // Per-window scheduler loop: dispatch this shard's events up to the window
+  // end, then rendezvous with the other shards to open the next window.
+  std::unique_lock<std::mutex> gate;
+  for (;;) {
+    while (shard.finished_count < shard.count && !failed()) {
+      dispatch_chain(shard, gate, nullptr);
+      Participant* target = shard.activated;
+      shard.activated = nullptr;
+      if (target == nullptr) {
+        break;  // window exhausted, shard drained, or run failed
+      }
+      resume_fiber(*target);
+    }
+    if (!window_rendezvous()) {
+      break;
+    }
+  }
+  if (failed()) {
+    unwind_live_fibers(shard);
+  }
+  for (int p = shard.first; p < shard.first + shard.count; ++p) {
+    participants_[p]->fiber.reset();
+  }
+  tls_shard = {};
+}
+
+void Engine::shard_worker_threads(Shard& shard,
+                                  const std::function<void(int)>& body) {
+  tls_shard = ShardTls{this, shard.index};
+  for (int p = shard.first; p < shard.first + shard.count; ++p) {
+    participants_[p]->thread =
+        std::thread([this, p, &body] { participant_main(p, body); });
+  }
+
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  for (;;) {
+    shard.window_idle = false;
+    dispatch_chain(shard, lock, nullptr);
+    // The shard is quiescent exactly when window_idle is set (the last
+    // token holder found nothing more to dispatch this window) or everyone
+    // finished — only then is it safe to expose the shard's state to the
+    // barrier completer.
+    shard.idle_cv.wait(lock, [&shard] {
+      return shard.window_idle || shard.finished_count == shard.count;
+    });
+    lock.unlock();
+    const bool cont = window_rendezvous();
+    lock.lock();
+    if (!cont) {
+      break;
+    }
+  }
+  // Shutdown: release every parked participant (they observe the finished /
+  // failed state and exit or unwind).
+  for (int p = shard.first; p < shard.first + shard.count; ++p) {
+    participants_[p]->cv.notify_all();
+  }
+  lock.unlock();
+
+  for (int p = shard.first; p < shard.first + shard.count; ++p) {
+    if (participants_[p]->thread.joinable()) {
+      participants_[p]->thread.join();
+    }
+  }
+  tls_shard = {};
+}
+
+void Engine::run_sharded(const std::function<void(int)>& body) {
+  window_end_.store(lookahead_, std::memory_order_relaxed);
+  windows_ = 1;
+  for (auto& shard : shards_) {
+    for (int p = shard->first; p < shard->first + shard->count; ++p) {
+      shard->heap.push(Event{0.0, shard->next_seq++, p, kNoSlot});
+    }
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    workers.emplace_back([this, raw, &body] {
+      if (backend_ == ExecBackend::kFibers) {
+        shard_worker_fibers(*raw, body);
+      } else {
+        shard_worker_threads(*raw, body);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+}
+
 void Engine::run(const std::function<void(int)>& body) {
   CAF2_REQUIRE(!running_, "Engine::run() may only be called once");
   running_ = true;
 
-  {
-    auto lock = lock_gate();
-    for (auto& participant : participants_) {
-      heap_.push(Event{0.0, next_seq_++, participant->id, kNoSlot});
+  if (sharded_) {
+    quiesced_.store(false, std::memory_order_release);
+    run_sharded(body);
+    quiesced_.store(true, std::memory_order_release);
+  } else {
+    {
+      auto lock = lock_gate(*shards_[0]);
+      Shard& shard = *shards_[0];
+      for (auto& participant : participants_) {
+        shard.heap.push(Event{0.0, shard.next_seq++, participant->id, kNoSlot});
+      }
+    }
+    if (backend_ == ExecBackend::kFibers) {
+      run_fibers(body);
+    } else {
+      run_threads(body);
     }
   }
-  if (backend_ == ExecBackend::kFibers) {
-    run_fibers(body);
-  } else {
-    run_threads(body);
+
+  if (options_.record_trace) {
+    if (shards_.size() == 1) {
+      trace_ = std::move(shards_[0]->trace);
+      shards_[0]->trace.clear();
+    } else {
+      std::size_t total = 0;
+      for (const auto& shard : shards_) {
+        total += shard->trace.size();
+      }
+      trace_.reserve(total);
+      for (auto& shard : shards_) {
+        trace_.insert(trace_.end(), shard->trace.begin(), shard->trace.end());
+        shard->trace.clear();
+        shard->trace.shrink_to_fit();
+      }
+    }
   }
 
   if (first_error_) {
     std::rethrow_exception(first_error_);
   }
-  if (failed_) {
+  if (failed()) {
     throw_failure();
   }
 }

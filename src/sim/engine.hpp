@@ -6,9 +6,9 @@
 /// This is the substrate that substitutes for the paper's Cray XK6/XE6
 /// testbeds (DESIGN.md §1, §4.1). Each CAF process image runs as its own
 /// execution context, but the engine admits exactly **one runnable context
-/// at a time**: a participant that blocks, advances its virtual clock, or
-/// finishes hands the token to whichever pending event is earliest in
-/// *virtual time* (ties broken by insertion sequence, so runs are fully
+/// at a time per shard**: a participant that blocks, advances its virtual
+/// clock, or finishes hands the token to whichever pending event is earliest
+/// in *virtual time* (ties broken by insertion sequence, so runs are fully
 /// deterministic).
 ///
 /// Two execution backends implement that contract (DESIGN.md §4.8):
@@ -42,6 +42,29 @@
 ///    to the slow path; set CAF2_SIM_NO_FASTPATH=1 (or
 ///    EngineOptions::enable_fastpath = false) to force the slow path.
 ///
+/// --- sharded parallel execution (DESIGN.md §4.11) ---------------------------
+///
+/// With EngineOptions::shards > 1 (or CAF2_SIM_SHARDS=N) the engine runs a
+/// conservative parallel discrete-event simulation: participants are
+/// partitioned into contiguous shards, each shard owns its own event heap,
+/// call pool, sequence counter, clock, and lock, and one worker thread per
+/// shard executes that shard's events. Virtual time advances in windows: a
+/// shard may dispatch any event strictly below `window_end = global_min +
+/// lookahead`, where `global_min` is the minimum pending event time across
+/// shards and the lookahead is the network's minimum link latency
+/// (EngineOptions::lookahead_us). Any event one shard creates on another
+/// (a message delivery) carries a timestamp at least `lookahead` in the
+/// future, so it can never land inside the window a destination shard is
+/// already executing — cross-shard events are staged into the destination's
+/// inbox and merged at the next window boundary in the deterministic order
+/// `(time, source shard, per-source counter)`, then re-sequenced into the
+/// destination heap. `shards=1` runs the exact single-shard code path and is
+/// bit-identical to the pre-sharding engine; any fixed shard count is
+/// deterministic across repeats and across backends. Sharding requires a
+/// positive lookahead; configurations without one (zero-latency networks,
+/// the reliable-delivery protocol, obs span capture) automatically fall back
+/// to one shard.
+///
 /// If the heap drains while unfinished participants are blocked, the
 /// simulated program has provably deadlocked; the engine collects a
 /// structured obs::Postmortem (its own per-participant section plus whatever
@@ -52,7 +75,9 @@
 /// A virtual-time quiet-period watchdog (EngineOptions::watchdog_quiet_us)
 /// produces the same postmortem when every unfinished participant is blocked
 /// and the next pending event is suspiciously far in the virtual future
-/// (e.g. a runaway retransmission backoff chain).
+/// (e.g. a runaway retransmission backoff chain). Sharded runs perform the
+/// deadlock / budget / watchdog checks at window boundaries, where every
+/// shard is quiesced and the global state is consistent.
 
 #include <array>
 #include <atomic>
@@ -90,6 +115,12 @@ class Engine;
 /// (bench metadata stamps) can report the backend without building an engine.
 ExecBackend resolve_backend(ExecBackend configured);
 
+/// The shard count a given configuration requests before the Engine clamps
+/// it against the participant count and the lookahead: an explicit
+/// `configured >= 1` wins; `configured <= 0` reads CAF2_SIM_SHARDS and
+/// defaults to 1. Exposed for bench metadata stamps.
+int resolve_shards(int configured);
+
 /// Everything that makes the calling context "participant N of engine E".
 /// With the thread backend each participant thread simply owns one of these
 /// in thread-local storage; with the fiber backend the scheduler swaps the
@@ -110,10 +141,10 @@ struct EngineOptions {
   std::uint64_t max_events = 0;  ///< 0 = unlimited
   std::string label = "sim";
 
-  /// Upper bound on recorded TraceEntry records (0 = unlimited). Entries past
-  /// the cap are counted (Engine::trace_dropped()) and discarded, so
-  /// record_trace on a long 1024-image run cannot grow without bound. The
-  /// default bounds the trace at ~128 MiB.
+  /// Upper bound on recorded TraceEntry records per shard (0 = unlimited).
+  /// Entries past the cap are counted (Engine::trace_dropped()) and
+  /// discarded, so record_trace on a long 1024-image run cannot grow without
+  /// bound. The default bounds the trace at ~128 MiB per shard.
   std::uint64_t max_trace_entries = std::uint64_t{1} << 22;
 
   /// Enable the self-wake fast path (see file comment). The environment
@@ -140,6 +171,19 @@ struct EngineOptions {
   /// PROT_NONE guard page is added below). Virtual memory only — resident
   /// cost is the pages a participant actually touches.
   std::size_t fiber_stack_bytes = std::size_t{1} << 20;
+
+  /// Number of engine shards (parallel worker threads). An explicit value
+  /// >= 1 is used as-is; <= 0 means "from the environment": CAF2_SIM_SHARDS
+  /// when set, else 1. The engine clamps the result to the participant count
+  /// and falls back to 1 whenever lookahead_us <= 0 (no conservative window
+  /// exists without a minimum cross-participant latency).
+  int shards = 0;
+
+  /// Conservative lookahead window (virtual microseconds) for sharded runs:
+  /// the minimum virtual-time distance of any event one shard can create on
+  /// another. The runtime derives it from the network's minimum link
+  /// latency. <= 0 disables sharding (automatic fallback to shards = 1).
+  double lookahead_us = 0.0;
 };
 
 class Engine {
@@ -171,8 +215,10 @@ class Engine {
   /// so their per-image state follows the participant across fiber switches.
   static void*& context_slot(int index);
 
-  /// Current virtual time in microseconds.
-  double now() const { return now_us_.load(std::memory_order_relaxed); }
+  /// Current virtual time in microseconds. In a sharded run this is the
+  /// calling context's shard clock; from outside any engine context it is
+  /// the maximum over all shard clocks.
+  double now() const;
 
   /// Model local computation: advance virtual time by \p dt microseconds and
   /// yield to any earlier event.
@@ -188,12 +234,17 @@ class Engine {
   /// --- calls valid on a participant thread or inside a Call callback ------
 
   /// Make a blocked participant runnable at the current virtual time.
-  /// Harmless if the participant is already runnable or finished.
+  /// Harmless if the participant is already runnable or finished. When the
+  /// target lives on another shard the wake is staged into that shard's
+  /// inbox and merged at the next window boundary (wakes are hints — the
+  /// woken participant re-evaluates its predicate — so the window-granular
+  /// delay is semantically safe).
   void unblock(int participant);
 
   /// Schedule a callback at absolute virtual time \p at (>= now()).
   /// Accepts any move-constructible void() callable; closures up to
-  /// InlineFn::kInlineBytes are stored without heap allocation.
+  /// InlineFn::kInlineBytes are stored without heap allocation. The callback
+  /// runs on the calling context's shard.
   template <class F>
   void post(double at, F&& fn) {
     post_call(at, InlineFn(std::forward<F>(fn)));
@@ -205,11 +256,23 @@ class Engine {
     post_call(now() + delay, InlineFn(std::forward<F>(fn)));
   }
 
+  /// Schedule a callback on the shard that owns \p participant. Same-shard
+  /// (and unsharded) calls are exactly post(); cross-shard calls stage the
+  /// event into the owning shard's inbox for the next window merge and
+  /// require `at >= now() + lookahead_us` (the conservative-window
+  /// contract; the network's wire latency provides it).
+  template <class F>
+  void post_for(int participant, double at, F&& fn) {
+    post_for_call(participant, at, InlineFn(std::forward<F>(fn)));
+  }
+
   /// Reserve the next event sequence number without scheduling anything.
   /// Chained event sources (the network's message flights) reserve their
   /// later phases' sequence numbers up front so that scheduling an event
   /// lazily — from inside an earlier phase's callback — still dispatches in
-  /// exactly the order an eager schedule would have produced.
+  /// exactly the order an eager schedule would have produced. Sequence
+  /// numbers are per-shard; a reservation must be redeemed on the shard that
+  /// made it (the network only reserves for same-shard flights).
   std::uint64_t reserve_seq();
 
   /// Schedule a callback under a sequence number previously returned by
@@ -222,7 +285,9 @@ class Engine {
   /// a participant thread or an engine callback; the reliability layer uses
   /// the two-argument form when a message exhausts its retransmission
   /// budget. The one-argument form tags the postmortem
-  /// obs::FailKind::kExplicitFail.
+  /// obs::FailKind::kExplicitFail. In a sharded run the failure is recorded
+  /// immediately but the postmortem is collected at the next window
+  /// boundary, where every shard is quiesced.
   void fail(const std::string& why);
   void fail(const std::string& why, obs::FailKind kind);
 
@@ -243,7 +308,10 @@ class Engine {
 
   /// Collect a Postmortem of the current (healthy or stalled) state, tagged
   /// obs::FailKind::kOnDemand. Callable from a participant context or from
-  /// outside the run.
+  /// outside the run. During a *sharded* run other shards execute
+  /// concurrently, so the snapshot contains only the engine-level counters
+  /// (no per-participant detail, no collector sections); a quiesced engine
+  /// (shards=1, or between runs) produces the full report.
   obs::Postmortem snapshot_postmortem(const std::string& headline);
 
   /// The postmortem collected by the first failure, or null if the run has
@@ -254,10 +322,8 @@ class Engine {
 
   /// --- introspection -------------------------------------------------------
 
-  /// Total events dispatched so far.
-  std::uint64_t event_count() const {
-    return dispatched_.load(std::memory_order_relaxed);
-  }
+  /// Total events dispatched so far (summed over shards).
+  std::uint64_t event_count() const;
 
   /// True when the self-wake fast path is active (options + environment).
   bool fastpath_enabled() const { return fastpath_; }
@@ -266,23 +332,58 @@ class Engine {
   /// never kAuto.
   ExecBackend backend() const { return backend_; }
 
-  /// Token handoffs between *different* participants dispatched so far. A
-  /// pure function of the dispatch order, so bit-identical across backends
-  /// and with the fast path on or off — the determinism suite compares it.
-  std::uint64_t context_switch_count() const {
-    return context_switches_.load(std::memory_order_relaxed);
-  }
+  /// Token handoffs between *different* participants dispatched so far,
+  /// summed over shards. Within a shard this is a pure function of the
+  /// dispatch order, so bit-identical across backends and with the fast path
+  /// on or off — the determinism suite compares it.
+  std::uint64_t context_switch_count() const;
 
-  /// Recorded trace (empty unless EngineOptions::record_trace).
+  /// Recorded trace (empty unless EngineOptions::record_trace). Populated
+  /// when run() returns; in a sharded run it is the concatenation of the
+  /// per-shard traces in shard order (deterministic for a fixed shard
+  /// count).
   const std::vector<TraceEntry>& trace() const { return trace_; }
 
   /// Trace entries discarded by EngineOptions::max_trace_entries.
-  std::uint64_t trace_dropped() const { return trace_dropped_; }
+  std::uint64_t trace_dropped() const;
+
+  /// --- sharding ------------------------------------------------------------
+
+  /// Resolved number of shards (>= 1; clamped and fallback-applied).
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// True when this engine runs more than one shard.
+  bool sharded() const { return shards_.size() > 1; }
+
+  /// Shard owning \p participant.
+  int shard_of(int participant) const {
+    return shard_index_[static_cast<std::size_t>(participant)];
+  }
+
+  /// The calling context's shard, or -1 outside any engine context.
+  int current_shard() const;
+
+  /// Conservative lookahead window (0 when unsharded).
+  double lookahead_us() const { return lookahead_; }
+
+  /// Window advances performed so far (1 for the initial window; always 0
+  /// for an unsharded run, which has no windows).
+  std::uint64_t window_count() const;
+
+  /// Shard-windows in which a shard had no executable event (its next event
+  /// lay at or beyond the window end). High stall counts explain a flat
+  /// scaling curve: the partition is imbalanced or the lookahead too small.
+  std::uint64_t window_stall_count() const;
+
+  /// Events dispatched per shard (one entry per shard, index = shard id).
+  std::vector<std::uint64_t> shard_event_counts() const;
 
   /// Attach an observability recorder (nullptr detaches; see obs/obs.hpp).
   /// Hooks fire from advance() and block(); a null observer costs one branch.
   /// Recording never schedules events, so an observed run's event schedule,
-  /// trace, and stats are bit-identical to an unobserved one.
+  /// trace, and stats are bit-identical to an unobserved one. Not supported
+  /// on sharded engines (the runtime falls back to shards=1 when obs span
+  /// capture is enabled).
   void set_observer(obs::Recorder* observer) { observer_ = observer; }
 
  private:
@@ -304,7 +405,7 @@ class Engine {
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
   /// Heap entry: a POD. Wake events carry the participant id; Call events
-  /// carry an index into call_pool_ where the closure lives.
+  /// carry an index into the shard's call pool where the closure lives.
   struct Event {
     double at = 0.0;
     std::uint64_t seq = 0;
@@ -321,20 +422,111 @@ class Engine {
     }
   };
 
+  /// An event staged by one shard for another, merged at the next window
+  /// boundary. Sorted by (at, source_shard, order) — `order` is a per-source
+  /// monotonic counter, so the merge is deterministic for a fixed shard
+  /// count — then re-sequenced into the destination heap.
+  struct CrossEvent {
+    double at = 0.0;
+    std::uint64_t order = 0;
+    std::int32_t source_shard = 0;
+    std::int32_t wake_participant = -1;  ///< >= 0: wake; else call
+    InlineFn fn;
+  };
+
+  /// Per-shard scheduler state. With shards=1 the single instance holds
+  /// exactly the fields the pre-sharding engine kept globally, and every
+  /// code path touches them through shard 0 — which is what keeps the
+  /// single-shard schedule bit-identical. The inbox is the only member other
+  /// shards may touch, always under inbox_mutex.
+  struct Shard {
+    int index = 0;
+    int first = 0;  ///< first participant id; shard spans [first, first+count)
+    int count = 0;
+
+    mutable std::mutex mutex;  ///< the shard's engine gate (thread backend)
+    std::condition_variable idle_cv;  ///< coordinator waits for quiescence
+    std::priority_queue<Event, std::vector<Event>, EventOrder> heap;
+    std::vector<InlineFn> call_pool;         ///< Call closures, slot-addressed
+    std::vector<std::uint32_t> free_slots;   ///< recycled call_pool indices
+
+    // now_us and dispatched are atomics so now()/event_count() stay callable
+    // without the shard lock; all *writes* happen on the single context that
+    // currently owns the shard's scheduler, so relaxed ordering suffices —
+    // cross-thread publication rides the mutex / window-barrier handoff.
+    std::atomic<double> now_us{0.0};
+    std::atomic<std::uint64_t> dispatched{0};
+    std::atomic<std::uint64_t> context_switches{0};
+    std::uint64_t next_seq = 0;
+    int token_owner = -1;  ///< participant last handed the token
+    Participant* activated = nullptr;  ///< dispatch_chain -> fiber scheduler
+    int finished_count = 0;
+    bool window_idle = false;  ///< no dispatchable event this window
+
+    std::vector<TraceEntry> trace;
+    std::uint64_t trace_dropped = 0;
+
+    // Cross-shard staging (multi-shard runs only).
+    std::mutex inbox_mutex;
+    std::vector<CrossEvent> inbox;
+    std::uint64_t cross_order = 0;  ///< next CrossEvent stamp (source side)
+  };
+
   friend struct CurrentParticipantGuard;
 
-  /// Acquire the engine lock — in thread mode. The fiber backend runs every
-  /// participant, callback, and the scheduler on one OS thread, so it skips
-  /// the mutex entirely: lock_gate() then returns an empty unique_lock (no
-  /// associated mutex), and the lock/unlock sites test lock.mutex() first.
-  std::unique_lock<std::mutex> lock_gate() {
+  Shard& home_shard(int participant) {
+    return *shards_[static_cast<std::size_t>(shard_of(participant))];
+  }
+
+  /// The shard of the calling context; shard 0 from outside any engine
+  /// context (which only happens unsharded, or before the run starts).
+  Shard& calling_shard();
+
+  /// Acquire a shard's engine gate — in thread mode. The fiber backend runs
+  /// every participant, callback, and the scheduler of a shard on one OS
+  /// thread, so it skips the mutex entirely: lock_gate() then returns an
+  /// empty unique_lock (no associated mutex), and the lock/unlock sites test
+  /// lock.mutex() first.
+  std::unique_lock<std::mutex> lock_gate(Shard& shard) {
     return backend_ == ExecBackend::kThreads
-               ? std::unique_lock<std::mutex>(mutex_)
+               ? std::unique_lock<std::mutex>(shard.mutex)
                : std::unique_lock<std::mutex>();
   }
 
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
   void run_threads(const std::function<void(int)>& body);
   void run_fibers(const std::function<void(int)>& body);
+
+  /// Multi-shard run: one worker thread per shard plus the window-barrier
+  /// protocol.
+  void run_sharded(const std::function<void(int)>& body);
+  void shard_worker_fibers(Shard& shard, const std::function<void(int)>& body);
+  void shard_worker_threads(Shard& shard, const std::function<void(int)>& body);
+
+  /// Arrive at the window barrier; the last arriver merges inboxes and opens
+  /// the next window (or completes the run). Returns false when the run is
+  /// over (all finished, or failed with the postmortem built).
+  bool window_rendezvous();
+
+  /// Last-arriver body: every shard is quiesced, the sync mutex serializes
+  /// access. Returns false to end the run.
+  bool advance_window_locked();
+
+  /// Merge a shard's inbox into its heap (deterministic order, fresh local
+  /// sequence numbers).
+  void drain_inbox_locked(Shard& shard);
+
+  /// Build the failure postmortem at the window barrier and release every
+  /// participant to unwind (shutdown_ready_).
+  void finish_failure_locked();
+
+  /// Record a failure without collecting the postmortem (sharded mode: the
+  /// collection happens at the window barrier where every shard is
+  /// quiesced). First failure wins. Must not be called while holding a shard
+  /// gate.
+  void fail_pending(obs::FailKind kind, const std::string& headline,
+                    std::exception_ptr participant_error, bool callback_error);
 
   void participant_main(int id, const std::function<void(int)>& body);
 
@@ -345,32 +537,51 @@ class Engine {
   /// duration and saving it back (with any slot changes) on return.
   void resume_fiber(Participant& target);
 
-  /// After a failure in fiber mode: resume every live fiber once so its
-  /// pending engine call observes failed_ and throws, unwinding the body.
-  /// Runs in rank order (deterministic); never-started fibers are retired
-  /// directly, matching the thread backend's early-exit path.
-  void unwind_live_fibers();
+  /// After a failure in fiber mode: resume every live fiber of \p shard once
+  /// so its pending engine call observes failed_ and throws, unwinding the
+  /// body. Runs in rank order (deterministic); never-started fibers are
+  /// retired directly, matching the thread backend's early-exit path.
+  void unwind_live_fibers(Shard& shard);
 
   /// Relinquish the token. Must be called with the gate held by a
   /// participant that currently has it. Thread mode: dispatches events until
   /// another participant is activated (possibly the caller), then waits
   /// until re-activated. Fiber mode: suspends back to the scheduler loop,
   /// which dispatches. Throws FatalError if the run failed meanwhile.
-  void switch_out(std::unique_lock<std::mutex>& lock, Participant& self);
+  void switch_out(Shard& shard, std::unique_lock<std::mutex>& lock,
+                  Participant& self);
 
-  /// Pop and dispatch events until a participant is activated or the heap
-  /// drains. Returns with the gate held; the activated participant (if any)
-  /// is left in activated_. \p dispatcher is the participant running this
-  /// chain (nullptr when dispatching from run() or a finishing participant);
+  /// Pop and dispatch \p shard's events until a participant is activated,
+  /// the shard drains, or (sharded) the window is exhausted. Returns with
+  /// the gate held; the activated participant (if any) is left in
+  /// shard.activated. \p dispatcher is the participant running this chain
+  /// (nullptr when dispatching from run() or a finishing participant);
   /// activating the dispatcher itself skips the condition-variable notify,
   /// since the dispatcher observes `active` directly. A callback that throws
   /// fails the run with a dispatcher-tagged error instead of propagating.
-  void dispatch_chain(std::unique_lock<std::mutex>& lock,
+  void dispatch_chain(Shard& shard, std::unique_lock<std::mutex>& lock,
                       Participant* dispatcher);
 
-  void post_call(double at, InlineFn fn);
+  /// Mark the shard quiescent for this window and wake its coordinator.
+  /// Requires the shard gate (thread mode).
+  void shard_idle_locked(Shard& shard);
 
-  std::uint32_t acquire_slot(InlineFn fn);
+  void post_call(double at, InlineFn fn);
+  void post_for_call(int participant, double at, InlineFn fn);
+
+  /// Stage an event into another shard's inbox. Must run on an engine
+  /// context (the source shard identity stamps the merge order).
+  void cross_post(int dest_shard, double at, std::int32_t wake_participant,
+                  InlineFn fn);
+
+  std::uint32_t acquire_slot(Shard& shard, InlineFn fn);
+
+  std::uint64_t total_dispatched() const;
+
+  /// Compose the failure text for a throwing engine callback (shared by the
+  /// sharded and unsharded paths so the message stays identical).
+  std::string describe_callback_error(Participant* dispatcher,
+                                      const std::exception_ptr& error) const;
 
   void fail_locked(std::unique_lock<std::mutex>& lock, const std::string& why);
 
@@ -378,13 +589,15 @@ class Engine {
   /// states, event counts) plus whatever the postmortem collector and the
   /// legacy diagnostics callback contribute. Exceptions from either callback
   /// are swallowed into Postmortem::collector_error — a report must never
-  /// deadlock the failing run it is reporting on. Requires mutex_ held.
+  /// deadlock the failing run it is reporting on. Requires the engine to be
+  /// quiesced (single-shard gate held, or every shard parked at the window
+  /// barrier).
   std::shared_ptr<const obs::Postmortem> build_postmortem_locked(
       obs::FailKind kind, const std::string& headline);
 
   /// Fail the run with a freshly collected postmortem (no-op when already
   /// failed — the first postmortem wins). failure_reason_ becomes the
-  /// postmortem's text rendering. Requires mutex_ held.
+  /// postmortem's text rendering. Single-shard only; requires the gate held.
   void fail_report_locked(std::unique_lock<std::mutex>& lock,
                           obs::FailKind kind, const std::string& headline);
 
@@ -392,44 +605,52 @@ class Engine {
   [[noreturn]] void throw_failure() const;
 
   /// True when at least one participant is blocked and every unfinished one
-  /// is (i.e. only heap events can make progress). Requires mutex_ held.
+  /// is (i.e. only heap events can make progress). Requires a quiesced
+  /// engine.
   bool all_unfinished_blocked_locked() const;
 
-  void record(TraceKind kind, int participant);
+  void record(Shard& shard, TraceKind kind, int participant);
 
-  mutable std::mutex mutex_;
-  std::condition_variable done_cv_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> heap_;
-  std::vector<InlineFn> call_pool_;        ///< Call closures, slot-addressed
-  std::vector<std::uint32_t> free_slots_;  ///< recycled call_pool_ indices
+  std::condition_variable done_cv_;  ///< single-shard thread backend
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::int32_t> shard_index_;  ///< participant id -> shard
   std::vector<std::unique_ptr<Participant>> participants_;
   EngineOptions options_;
   bool fastpath_ = true;
+  bool sharded_ = false;
+  double lookahead_ = 0.0;
   ExecBackend backend_ = ExecBackend::kThreads;  ///< resolved, never kAuto
   std::function<std::string()> diagnostics_;
   PostmortemCollector collector_;
   std::shared_ptr<const obs::Postmortem> last_postmortem_;
 
-  // now_us_ and dispatched_ are atomics so now()/event_count() stay callable
-  // without the engine lock; all *writes* happen on the single thread that
-  // currently owns the scheduler (token holder or dispatcher), so relaxed
-  // ordering suffices — cross-thread publication rides the mutex handoff.
-  std::atomic<double> now_us_{0.0};
-  std::atomic<std::uint64_t> dispatched_{0};
-  std::atomic<std::uint64_t> context_switches_{0};
-  std::uint64_t next_seq_ = 0;
-  int token_owner_ = -1;  ///< participant last handed the token
-  Participant* activated_ = nullptr;  ///< dispatch_chain -> fiber scheduler
-  int finished_count_ = 0;
-  bool failed_ = false;
+  std::atomic<bool> failed_{false};
   std::string failure_reason_;
   std::exception_ptr first_error_;
   bool running_ = false;
+  std::atomic<bool> quiesced_{true};  ///< false while shard workers run
 
-  std::vector<TraceEntry> trace_;
-  // Written only by the context that owns the scheduler (token holder or
-  // dispatcher), like trace_ itself.
-  std::uint64_t trace_dropped_ = 0;
+  // Window-barrier state (multi-shard runs only). sync_mutex_ orders every
+  // barrier handoff, which is what lets the last arriver read and mutate
+  // every shard's state race-free.
+  std::mutex sync_mutex_;
+  std::condition_variable sync_cv_;
+  int sync_waiting_ = 0;
+  std::uint64_t sync_generation_ = 0;
+  bool sync_done_ = false;
+  std::atomic<double> window_end_{0.0};
+  std::uint64_t windows_ = 0;
+  std::uint64_t window_stalls_ = 0;
+
+  // Failure staging for sharded runs: the postmortem is built later, at the
+  // barrier, so the failing context only records what happened here.
+  std::mutex fail_mutex_;
+  obs::FailKind pending_fail_kind_{};
+  std::string pending_fail_headline_;
+  bool pending_fail_is_callback_ = false;
+  std::atomic<bool> shutdown_ready_{false};
+
+  std::vector<TraceEntry> trace_;  ///< merged after run()
   obs::Recorder* observer_ = nullptr;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/fiber.hpp"
 
+#include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -111,9 +113,30 @@ class StackPool {
     void* base =
         mmap(nullptr, total, PROT_READ | PROT_WRITE, flags, -1, 0);
     CAF2_ASSERT(base != MAP_FAILED, "fiber stack mmap failed");
-    CAF2_ASSERT(mprotect(base, guard, PROT_NONE) == 0,
-                "fiber stack guard-page mprotect failed");
-    return Fiber::Stack{base, total, guard};
+    // Each PROT_NONE guard page splits a VMA, so paper-scale engines (tens
+    // of thousands of live fibers) would exhaust vm.max_map_count (default
+    // 65530) long before they exhaust memory — and once a process sits at
+    // that ceiling, *unrelated* mmaps (malloc arenas) start failing too.
+    // Cap the number of guard-paged mappings well below the default ceiling;
+    // stacks beyond the cap go guardless, and adjacent anonymous mappings
+    // with identical protections coalesce, so the map count stops growing.
+    // Overflow detection is lost for those stacks; correctness is not.
+    const bool want_guard =
+        guards_enabled_.load(std::memory_order_relaxed) &&
+        guarded_mapped_.load(std::memory_order_relaxed) < kMaxGuardedStacks;
+    if (want_guard) {
+      if (mprotect(base, guard, PROT_NONE) == 0) {
+        guarded_mapped_.fetch_add(1, std::memory_order_relaxed);
+        return Fiber::Stack{base, total, guard};
+      }
+      guards_enabled_.store(false, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "caf2: fiber stack guard-page mprotect failed (%s); "
+                   "continuing with guardless stacks — raise vm.max_map_count "
+                   "to restore overflow detection\n",
+                   std::strerror(errno));
+    }
+    return Fiber::Stack{base, total, 0};
 #else
     void* base = std::malloc(total);
     CAF2_ASSERT(base != nullptr, "fiber stack allocation failed");
@@ -132,7 +155,7 @@ class StackPool {
         return;
       }
     }
-    munmap(stack.base, stack.total);
+    unmap(stack);
 #else
     std::free(stack.base);
 #endif
@@ -149,7 +172,7 @@ class StackPool {
     }
 #if defined(CAF2_FIBER_POSIX)
     for (const Fiber::Stack& stack : victims) {
-      munmap(stack.base, stack.total);
+      unmap(stack);
     }
 #else
     for (const Fiber::Stack& stack : victims) {
@@ -159,9 +182,28 @@ class StackPool {
   }
 
  private:
+#if defined(CAF2_FIBER_POSIX)
+  void unmap(const Fiber::Stack& stack) {
+    if (stack.guard > 0) {
+      guarded_mapped_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    munmap(stack.base, stack.total);
+  }
+#endif
+
   static constexpr std::size_t kMaxCached = 4096;
+  /// Guard-paged mappings cost 2 VMAs each; cap them far enough below the
+  /// Linux default vm.max_map_count (65530) that the rest of the process
+  /// still has headroom.
+  static constexpr std::size_t kMaxGuardedStacks = 8192;
   std::mutex mutex_;
   std::vector<Fiber::Stack> free_;
+  /// Cleared the first time a guard-page mprotect fails (vm.max_map_count
+  /// pressure); stacks allocated afterwards have no guard page.
+  std::atomic<bool> guards_enabled_{true};
+  /// Live guard-paged mappings (freelist included — cached stacks keep
+  /// their VMAs).
+  std::atomic<std::size_t> guarded_mapped_{0};
 };
 
 }  // namespace

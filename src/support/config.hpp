@@ -271,6 +271,18 @@ struct RuntimeOptions {
   /// backends. CAF2_SIM_BACKEND={threads,fibers} overrides this.
   ExecBackend sim_backend = ExecBackend::kAuto;
 
+  /// Number of engine shards: worker threads executing the conservative
+  /// parallel-DES scheme of DESIGN.md §4.11. <= 0 means "resolve from the
+  /// environment": CAF2_SIM_SHARDS when set, one shard otherwise; an
+  /// explicit value >= 1 always wins over the environment. shards=1 is
+  /// bit-identical to the unsharded engine, and any fixed shard count is
+  /// deterministic run to run. The runtime derives the conservative
+  /// lookahead from the network's wire latency and falls back to a single
+  /// shard whenever no positive lookahead exists (zero-latency networks),
+  /// the reliable-delivery protocol is active, or obs span capture is
+  /// enabled (the recorder is single-threaded).
+  int shards = 0;
+
   /// Virtual-time watchdog quiet period (microseconds). When > 0 and every
   /// unfinished image is blocked while the next pending event is more than
   /// this far in the virtual future, the run is aborted with a structured

@@ -4,9 +4,47 @@
 #include <sys/resource.h>
 #endif
 
+#if defined(__linux__)
+#include <cstdio>
+#include <cstring>
+#endif
+
 namespace caf2 {
 
+namespace {
+
+#if defined(__linux__)
+/// Process-wide peak RSS from /proc/self/status (VmHWM). The kernel keeps
+/// one high-water mark per process, covering every worker thread — exactly
+/// what RunStats wants for sharded runs. Returns 0 when unreadable (then
+/// the getrusage fallback below applies).
+std::uint64_t vm_hwm_bytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) {
+    return 0;
+  }
+  std::uint64_t bytes = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      bytes = static_cast<std::uint64_t>(kb) * 1024u;
+      break;
+    }
+  }
+  std::fclose(status);
+  return bytes;
+}
+#endif
+
+}  // namespace
+
 std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  if (const std::uint64_t hwm = vm_hwm_bytes(); hwm != 0) {
+    return hwm;
+  }
+#endif
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage {};
   if (getrusage(RUSAGE_SELF, &usage) != 0) {

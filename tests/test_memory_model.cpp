@@ -163,7 +163,12 @@ TEST(Determinism, IdenticalSeedsGiveIdenticalExecutions) {
           cofence();
         }
       });
-      t = now_us();
+      // Fingerprint a single image's clock: `t` is shared across images, so
+      // an unguarded write would make the fingerprint "whichever image wrote
+      // last" — real-time racy on a sharded engine.
+      if (this_image() == 0) {
+        t = now_us();
+      }
       team_barrier(world);
     });
     *end_time = t;
@@ -200,8 +205,12 @@ TEST(Determinism, UtsTotalsIndependentOfJitterSeed) {
         copy_async(counter((world.rank() + 1) % world.size()).subslice(0, 1),
                    std::span<const long>(one));
       });
-      total = static_cast<std::uint64_t>(
-          allreduce<long>(world, counter[0], RedOp::kSum));
+      const long sum = allreduce<long>(world, counter[0], RedOp::kSum);
+      // Every image computes the same sum, but `total` is shared: on a
+      // sharded engine unguarded writes from every image are a data race.
+      if (this_image() == 0) {
+        total = static_cast<std::uint64_t>(sum);
+      }
     });
     if (reference == 0) {
       reference = total;

@@ -29,6 +29,12 @@ RuntimeOptions base_options(int images) {
   options.net.bandwidth_bytes_per_us = 100.0;
   options.net.ack_latency_us = 5.0;
   options.net.jitter_us = 0.0;
+  // These tests inspect full mid-run postmortems, which a sharded engine
+  // reduces to engine-level counters (other shards keep running while the
+  // snapshot is taken). Pin shards=1 so the suite is immune to a
+  // CAF2_SIM_SHARDS override; cross-shard postmortems get their own
+  // coverage in test_shards.cpp.
+  options.shards = 1;
   return options;
 }
 

@@ -1,0 +1,273 @@
+/// Sharded parallel-DES engine (DESIGN.md §4.11) through the full runtime:
+/// shards=1 bit-identity with the serial engine, fixed-shard-count
+/// determinism across repeats and backends, cross-shard asynchronous
+/// constructs at paper scale, cross-shard deadlock postmortems, and the
+/// automatic fallbacks to the serial engine.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/caf2.hpp"
+#include "core/detectors.hpp"
+#include "obs/postmortem.hpp"
+#include "runtime/internal.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace caf2;
+
+RuntimeOptions shard_options(int images, int shards, std::uint64_t seed) {
+  RuntimeOptions options;
+  options.num_images = images;
+  options.shards = shards;
+  options.net.latency_us = 4.0;
+  options.net.bandwidth_bytes_per_us = 400.0;
+  options.net.handler_cost_us = 0.1;
+  options.net.jitter_us = 2.0;
+  options.seed = seed;
+  options.max_events = 50'000'000;
+  options.record_trace = true;
+  return options;
+}
+
+/// Mixed workload with plenty of cross-image (and, when sharded,
+/// cross-shard) traffic: asynchronous copies under a finish, a cofence per
+/// round, an allreduce, and barriers.
+void mixed_workload() {
+  Team world = team_world();
+  Coarray<long> counter(world, 1);
+  counter[0] = 0;
+  team_barrier(world);
+  const std::vector<long> payload{1};
+  finish(world, [&] {
+    for (int round = 0; round < 5; ++round) {
+      copy_async(counter((world.rank() + round) % world.size()).subslice(0, 1),
+                 std::span<const long>(payload));
+      cofence();
+    }
+  });
+  team_barrier(world);
+}
+
+struct Fingerprint {
+  std::string trace;
+  std::uint64_t events = 0;
+  double end_us = 0.0;
+  double image0_us = 0.0;
+  int shards = 0;
+  std::uint64_t windows = 0;
+  std::vector<std::uint64_t> shard_events;
+};
+
+/// Run \p workload on a full runtime and capture the engine trace plus the
+/// stats the determinism assertions compare.
+Fingerprint fingerprint_run(const RuntimeOptions& options,
+                            const std::function<void()>& workload) {
+  rt::Runtime runtime(options);
+  rt::install_event_handlers(runtime);
+  ops::install_copy_handlers(runtime);
+  ops::install_spawn_handlers(runtime);
+  ops::install_collective_handlers(runtime);
+  core::install_detector_handlers(runtime);
+  Fingerprint fp;
+  runtime.run([&] {
+    workload();
+    if (this_image() == 0) {
+      fp.image0_us = now_us();
+    }
+  });
+  fp.trace = sim::render_trace(runtime.engine().trace());
+  fp.events = runtime.engine().event_count();
+  fp.end_us = runtime.engine().now();
+  fp.shards = runtime.engine().shard_count();
+  fp.windows = runtime.engine().window_count();
+  fp.shard_events = runtime.engine().shard_event_counts();
+  return fp;
+}
+
+/// --- shards=1: the serial engine, bit for bit -------------------------------
+
+TEST(Shards, SerialEngineIsBitIdenticalAcrossRepeats) {
+  const Fingerprint a = fingerprint_run(shard_options(3, 1, 7), mixed_workload);
+  const Fingerprint b = fingerprint_run(shard_options(3, 1, 7), mixed_workload);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_us, b.end_us);
+  EXPECT_EQ(a.image0_us, b.image0_us);
+  // shards=1 reports the serial engine's stats shape: no windows, one
+  // per-shard bucket holding every event.
+  EXPECT_EQ(a.shards, 1);
+  EXPECT_EQ(a.windows, 0u);
+  ASSERT_EQ(a.shard_events.size(), 1u);
+  EXPECT_EQ(a.shard_events[0], a.events);
+}
+
+TEST(Shards, ExplicitRequestBeatsEnvironment) {
+  char* prior = std::getenv("CAF2_SIM_SHARDS");
+  const std::string saved = prior != nullptr ? prior : "";
+  ::setenv("CAF2_SIM_SHARDS", "3", 1);
+  const RunStats pinned = run_stats(shard_options(4, 1, 11), mixed_workload);
+  EXPECT_EQ(pinned.shards, 1);
+  const RunStats from_env = run_stats(shard_options(4, 0, 11), mixed_workload);
+  EXPECT_EQ(from_env.shards, 3);
+  if (prior != nullptr) {
+    ::setenv("CAF2_SIM_SHARDS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("CAF2_SIM_SHARDS");
+  }
+}
+
+/// --- fixed shard count: deterministic across repeats and backends -----------
+
+TEST(Shards, FixedCountIsDeterministicAcrossRepeats) {
+  for (const int shards : {2, 4}) {
+    const Fingerprint a =
+        fingerprint_run(shard_options(8, shards, 21), mixed_workload);
+    const Fingerprint b =
+        fingerprint_run(shard_options(8, shards, 21), mixed_workload);
+    EXPECT_EQ(a.trace, b.trace) << "shards=" << shards;
+    EXPECT_EQ(a.events, b.events) << "shards=" << shards;
+    EXPECT_EQ(a.end_us, b.end_us) << "shards=" << shards;
+    EXPECT_EQ(a.image0_us, b.image0_us) << "shards=" << shards;
+    EXPECT_EQ(a.shards, shards);
+    ASSERT_EQ(a.shard_events.size(), static_cast<std::size_t>(shards));
+    EXPECT_EQ(a.shard_events, b.shard_events) << "shards=" << shards;
+    EXPECT_GT(a.windows, 0u) << "shards=" << shards;
+  }
+}
+
+TEST(Shards, ThreadsAndFibersAgreeWhenSharded) {
+  if (!sim::fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build";
+  }
+  RuntimeOptions threads = shard_options(8, 4, 33);
+  threads.sim_backend = ExecBackend::kThreads;
+  RuntimeOptions fibers = shard_options(8, 4, 33);
+  fibers.sim_backend = ExecBackend::kFibers;
+  const Fingerprint a = fingerprint_run(threads, mixed_workload);
+  const Fingerprint b = fingerprint_run(fibers, mixed_workload);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_us, b.end_us);
+  EXPECT_EQ(a.image0_us, b.image0_us);
+  EXPECT_EQ(a.shard_events, b.shard_events);
+}
+
+/// --- cross-shard constructs at paper scale ----------------------------------
+
+TEST(Shards, CrossShardConstructsAtPaperScale) {
+  // Without fibers (TSan builds) every image is an OS thread — keep the
+  // thread count civilised there, paper-scale otherwise.
+  const int kImages = sim::fibers_supported() ? 4096 : 512;
+  RuntimeOptions options = shard_options(kImages, 4, 5);
+  options.record_trace = false;  // 4K images: keep memory flat
+  const RunStats stats = run_stats(options, [] {
+    Team world = team_world();
+    Coarray<long> ring(world, 4);
+    for (int i = 0; i < 4; ++i) {
+      ring[i] = 0;
+    }
+    team_barrier(world);
+    // Every image writes its rank to its ring successor; the edges that
+    // straddle shard boundaries exercise staged cross-shard delivery.
+    const std::vector<long> payload(4, world.rank());
+    finish(world, [&] {
+      copy_async(ring((world.rank() + 1) % world.size()),
+                 std::span<const long>(payload));
+      cofence();
+    });
+    const int prev = (world.rank() + world.size() - 1) % world.size();
+    EXPECT_EQ(ring[0], prev);
+    // A collective whose contributions cross every shard boundary.
+    const long total = allreduce<long>(world, 1, RedOp::kSum);
+    EXPECT_EQ(total, static_cast<long>(world.size()));
+    team_barrier(world);
+  });
+  EXPECT_EQ(stats.shards, 4);
+  ASSERT_EQ(stats.shard_events.size(), 4u);
+  for (const std::uint64_t per_shard : stats.shard_events) {
+    EXPECT_GT(per_shard, 0u);
+  }
+  EXPECT_GT(stats.windows, 0u);
+}
+
+/// --- cross-shard failure handling -------------------------------------------
+
+std::string stalled_postmortem_text(const RuntimeOptions& options) {
+  try {
+    run(options, [] {
+      // Every image waits on its own event; nobody notifies. The stall spans
+      // shard boundaries, so detection requires the inter-shard quiescence
+      // protocol, not just one shard running dry.
+      CoEvent never(team_world());
+      never.local().wait();
+    });
+  } catch (const obs::StallError& error) {
+    if (error.postmortem() == nullptr) {
+      ADD_FAILURE() << "stall error carried no postmortem";
+      return {};
+    }
+    return obs::to_text(*error.postmortem());
+  }
+  ADD_FAILURE() << "expected obs::StallError";
+  return {};
+}
+
+TEST(Shards, CrossShardDeadlockProducesDeterministicPostmortem) {
+  RuntimeOptions options = shard_options(4, 2, 17);
+  const std::string a = stalled_postmortem_text(options);
+  const std::string b = stalled_postmortem_text(options);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The postmortem names every blocked image.
+  for (int rank = 0; rank < 4; ++rank) {
+    EXPECT_NE(a.find("image " + std::to_string(rank)), std::string::npos)
+        << a;
+  }
+}
+
+/// --- automatic fallbacks to the serial engine -------------------------------
+
+TEST(Shards, FaultPlansFallBackToSerialWithIdenticalTraces) {
+  // Fault plans imply reliable delivery (retransmission), which requires the
+  // serial engine; a sharded request must quietly fall back and match the
+  // explicit shards=1 run bit for bit.
+  auto with_faults = [](int shards) {
+    RuntimeOptions options = shard_options(3, shards, 29);
+    options.net.faults.all.drop_probability = 0.2;
+    options.net.faults.all.delay_probability = 0.2;
+    options.net.faults.all.delay_max_us = 10.0;
+    return options;
+  };
+  const Fingerprint sharded = fingerprint_run(with_faults(4), mixed_workload);
+  const Fingerprint serial = fingerprint_run(with_faults(1), mixed_workload);
+  EXPECT_EQ(sharded.shards, 1);
+  EXPECT_EQ(sharded.trace, serial.trace);
+  EXPECT_EQ(sharded.events, serial.events);
+  EXPECT_EQ(sharded.end_us, serial.end_us);
+}
+
+TEST(Shards, InstantNetworkFallsBackToSerial) {
+  // Zero wire latency gives the conservative engine no lookahead window to
+  // run ahead in; the runtime falls back to one shard.
+  RuntimeOptions options = shard_options(4, 4, 3);
+  options.net.latency_us = 0.0;
+  options.net.jitter_us = 0.0;
+  const RunStats stats = run_stats(options, mixed_workload);
+  EXPECT_EQ(stats.shards, 1);
+}
+
+TEST(Shards, ShardCountClampsToImages) {
+  const RunStats stats = run_stats(shard_options(2, 16, 13), mixed_workload);
+  EXPECT_EQ(stats.shards, 2);
+}
+
+}  // namespace
