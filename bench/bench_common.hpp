@@ -250,6 +250,13 @@ inline void emit_bench_json(const BenchArgs& args, const std::string& name,
   meta.emplace_back("hardware_threads",
                     std::to_string(std::thread::hardware_concurrency()));
   meta.emplace_back("shards", std::to_string(args.shards));
+  // Resolved conservative-window policy (RunStats::lookahead_mode) the sweep
+  // ran under: "serial" for one shard, else adaptive unless the config or
+  // CAF2_SIM_ADAPTIVE_LOOKAHEAD turned it off.
+  meta.emplace_back("lookahead_mode",
+                    args.shards <= 1 ? "serial"
+                    : sim::resolve_adaptive_lookahead(true) ? "adaptive"
+                                                            : "static");
   // Which execution backend these numbers came from (threads vs fibers) —
   // wall-clock figures are not comparable across backends.
   meta.emplace_back("engine_backend",
@@ -265,10 +272,10 @@ inline void emit_bench_json(const BenchArgs& args, const std::string& name,
 
 /// bench_options() with span recording enabled, for drivers that emit a
 /// BENCH_<name>_blame.json sidecar. Recording never schedules events, so the
-/// virtual-time results are identical to an un-observed run; only wall-clock
-/// figures shift (by the cost of appending spans).
-inline RuntimeOptions bench_obs_options(int images) {
-  RuntimeOptions options = bench_options(images);
+/// virtual-time results are identical to an un-observed run at the same shard
+/// count; only wall-clock figures shift (by the cost of appending spans).
+inline RuntimeOptions bench_obs_options(int images, int shards = 1) {
+  RuntimeOptions options = bench_options(images, shards);
   options.obs.enabled = true;
   // Figure drivers at 1024 images generate far more network flights than
   // the default cap retains; flights feed the critical path and the trace

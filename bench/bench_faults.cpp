@@ -35,10 +35,11 @@ struct PointConfig {
   int images = 4;
   double drop = 0.0;
   int reps = 8;
+  int shards = 1;
 };
 
 BenchRecord measure_point(const PointConfig& config) {
-  RuntimeOptions options = bench::bench_options(config.images);
+  RuntimeOptions options = bench::bench_options(config.images, config.shards);
   options.net.jitter_us = std::max(options.net.jitter_us, 0.5);
   if (config.drop > 0.0) {
     options.net.faults.all.drop_probability = config.drop;
@@ -95,6 +96,12 @@ BenchRecord measure_point(const PointConfig& config) {
   record.metrics.emplace_back(
       "dups_suppressed",
       static_cast<double>(stats.faults.duplicates_suppressed));
+  if (stats.shards > 1) {
+    record.metrics.emplace_back("shards", static_cast<double>(stats.shards));
+    record.metrics.emplace_back("windows", static_cast<double>(stats.windows));
+    record.metrics.emplace_back("window_stalls",
+                                static_cast<double>(stats.window_stalls));
+  }
   return record;
 }
 
@@ -112,9 +119,18 @@ double metric(const BenchRecord& record, const std::string& key) {
 int main(int argc, char** argv) {
   const BenchArgs args = bench::parse_args(argc, argv);
 
+  // With --shards=n the sharded engine runs the reliable-delivery protocol
+  // too (DESIGN.md §4.12), so the default sweep moves to image counts where
+  // sharding pays off.
   std::vector<int> image_counts = args.images;
   if (image_counts.empty()) {
-    image_counts = args.quick ? std::vector<int>{4} : std::vector<int>{4, 8, 16};
+    if (args.shards > 1) {
+      image_counts =
+          args.quick ? std::vector<int>{32} : std::vector<int>{32, 64, 128};
+    } else {
+      image_counts =
+          args.quick ? std::vector<int>{4} : std::vector<int>{4, 8, 16};
+    }
   }
   const std::vector<double> drops = args.quick
                                         ? std::vector<double>{0.0, 0.10}
@@ -125,7 +141,7 @@ int main(int argc, char** argv) {
   std::vector<SweepPoint> sweep;
   for (const int images : image_counts) {
     for (const double drop : drops) {
-      PointConfig config{images, drop, reps};
+      PointConfig config{images, drop, reps, args.shards};
       char name[64];
       std::snprintf(name, sizeof(name), "faults/images=%d,drop=%.0f%%", images,
                     drop * 100.0);

@@ -20,10 +20,11 @@ namespace {
 using namespace caf2;
 using kernels::RaConfig;
 
-BenchRecord measure_cell(int images, const RaConfig& config, bool shipping) {
+BenchRecord measure_cell(int images, int shards, const RaConfig& config,
+                         bool shipping) {
   double elapsed = 0.0;
   BenchRecord record =
-      bench::measure_run(bench::bench_options(images), [&] {
+      bench::measure_run(bench::bench_options(images, shards), [&] {
         const auto stats =
             shipping ? kernels::ra_run_function_shipping(team_world(), config)
                      : kernels::ra_run_get_update_put(team_world(), config);
@@ -38,10 +39,18 @@ BenchRecord measure_cell(int images, const RaConfig& config, bool shipping) {
 
 int main(int argc, char** argv) {
   const auto args = caf2::bench::parse_args(argc, argv);
-  std::vector<int> sweep_images =
-      args.images.empty() ? std::vector<int>{4, 8, 16, 32} : args.images;
-  if (args.quick && args.images.empty()) {
-    sweep_images = {4, 8};
+  // With --shards=n each cell runs on the sharded parallel engine
+  // (DESIGN.md §4.11); the default sweep then moves to the image counts
+  // where sharding pays off.
+  std::vector<int> sweep_images;
+  if (!args.images.empty()) {
+    sweep_images = args.images;
+  } else if (args.shards > 1) {
+    sweep_images = args.quick ? std::vector<int>{64}
+                              : std::vector<int>{64, 128, 256, 512};
+  } else {
+    sweep_images =
+        args.quick ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 16, 32};
   }
 
   RaConfig config;
@@ -52,17 +61,20 @@ int main(int argc, char** argv) {
   const std::vector<int> bunches = {256, 512, 1024};
 
   std::vector<caf2::bench::SweepPoint> sweep;
+  const int shards = args.shards;
   for (const int images : sweep_images) {
     sweep.push_back({"getput/images=" + std::to_string(images),
-                     [images, config] {
-                       return measure_cell(images, config, false);
+                     [images, shards, config] {
+                       return measure_cell(images, shards, config, false);
                      }});
     for (const int bunch : bunches) {
       RaConfig fs = config;
       fs.bunch = bunch;
       sweep.push_back({"fs" + std::to_string(bunch) +
                            "/images=" + std::to_string(images),
-                       [images, fs] { return measure_cell(images, fs, true); }});
+                       [images, shards, fs] {
+                         return measure_cell(images, shards, fs, true);
+                       }});
     }
   }
   const std::vector<caf2::BenchRecord> results =

@@ -46,11 +46,10 @@ int main(int argc, char** argv) {
   for (int images : sweep) {
     double elapsed = 0.0;
     std::uint64_t total = 0;
-    // Span recording forces the serial engine, so the sharded sweep trades
-    // the blame sidecar for scale.
+    // Span recording runs sharded too (DESIGN.md §4.12): the 4K-32K sweeps
+    // get the blame sidecar, not just the serial band.
     const RuntimeOptions options =
-        args.shards > 1 ? bench::bench_options(images, args.shards)
-                        : bench::bench_obs_options(images);
+        bench::bench_obs_options(images, args.shards);
     const RunStats run_result = run_stats(options, [&] {
       const auto stats = kernels::uts_run(team_world(), config);
       elapsed = bench::reduce_max(team_world(), stats.elapsed_us);
@@ -86,7 +85,8 @@ int main(int argc, char** argv) {
       record.metrics.emplace_back("steal_attempts",
                                   static_cast<double>(steal_attempts));
       bench::append_blame_metrics(record, report);
-    } else {
+    }
+    if (run_result.shards > 1) {
       record.metrics.emplace_back("shards",
                                   static_cast<double>(run_result.shards));
     }
@@ -97,12 +97,6 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper Fig. 17): efficiency in the 0.7-1.0 band,\n"
       "declining gently as images increase (74%%-80%% across the paper's\n"
       "256-32768 cores).\n");
-  if (args.shards > 1) {
-    std::printf(
-        "(--shards=%d: blame buckets omitted — span recording requires the "
-        "serial engine)\n",
-        args.shards);
-  }
   bench::emit_blame_json(args, "fig17", blame_records,
                          {{"shards", std::to_string(args.shards)}});
   return 0;

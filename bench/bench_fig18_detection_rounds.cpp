@@ -23,11 +23,9 @@ RoundsResult rounds_for(caf2::DetectorKind detector, int images, int shards,
   kernels::UtsConfig config = base;
   config.detector = detector;
   RoundsResult result;
-  // Span recording forces the serial engine; the sharded sweep reports the
-  // detectors' own round counts without the obs cross-check.
-  const RuntimeOptions options = shards > 1
-                                     ? bench::bench_options(images, shards)
-                                     : bench::bench_obs_options(images);
+  // Span recording runs sharded too (DESIGN.md §4.12): the obs round
+  // cross-check and blame sidecar now cover the 4K-32K band as well.
+  const RuntimeOptions options = bench::bench_obs_options(images, shards);
   const RunStats stats = run_stats(options, [&] {
     const auto uts = kernels::uts_run(team_world(), config);
     result.rounds = static_cast<int>(bench::reduce_max(
@@ -111,15 +109,8 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
-  if (args.shards > 1) {
-    std::printf(
-        "(--shards=%d: obs round cross-check and blame buckets omitted — "
-        "span recording requires the serial engine)\n",
-        args.shards);
-  } else {
-    std::printf("obs finish-round count matches the detectors' reports: %s\n",
-                rounds_consistent ? "ok" : "VIOLATED");
-  }
+  std::printf("obs finish-round count matches the detectors' reports: %s\n",
+              rounds_consistent ? "ok" : "VIOLATED");
   bench::emit_blame_json(
       args, "fig18", blame_records,
       {{"rounds_consistent", rounds_consistent ? "ok" : "violated"},

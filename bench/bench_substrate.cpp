@@ -17,9 +17,12 @@
 ///
 /// The sharded/* section measures the parallel-DES engine (DESIGN.md §4.11):
 /// one paper-scale ring workload swept over shard counts 1..hardware
-/// threads. Those points own all cores, so they run serially *after* the
-/// pooled sweep; events/sec across the shard axis is the engine's strong-
-/// scaling curve (expect monotone growth while shards <= physical cores).
+/// threads, and — at each shard count above 1 — under both static and
+/// adaptive conservative windows (DESIGN.md §4.12). Those points own all
+/// cores, so they run serially *after* the pooled sweep; events/sec across
+/// the shard axis is the engine's strong-scaling curve (expect monotone
+/// growth while shards <= physical cores, and fewer window_stalls with
+/// adaptive windows).
 
 #include <algorithm>
 #include <span>
@@ -226,18 +229,35 @@ std::vector<SweepPoint> build_sharded_sweep(const BenchArgs& args) {
   }
   for (const int images : image_counts) {
     for (const int shards : shard_axis()) {
-      sweep.push_back({"sharded/images=" + std::to_string(images) +
-                           "/shards=" + std::to_string(shards),
-                       [images, shards] {
-                         BenchRecord record = bench::measure_run(
-                             bench::bench_options(images, shards),
-                             [] { ring_workload(4); });
-                         record.metrics.emplace_back("images", images);
-                         if (shards == 1) {
-                           record.metrics.emplace_back("shards", 1.0);
-                         }
-                         return record;
-                       }});
+      // Static vs adaptive conservative windows (DESIGN.md §4.12): the same
+      // point under both policies, so BENCH_substrate.json carries the
+      // window_stalls and events/sec deltas per shard count. One shard has
+      // no windows — a single serial point suffices.
+      const int modes = shards == 1 ? 1 : 2;
+      for (int mode = 0; mode < modes; ++mode) {
+        const bool adaptive = mode == 1;
+        std::string name =
+            "sharded/images=" + std::to_string(images) +
+            "/shards=" + std::to_string(shards);
+        if (shards > 1) {
+          name += adaptive ? "/adaptive" : "/static";
+        }
+        sweep.push_back({name, [images, shards, adaptive] {
+                           RuntimeOptions options =
+                               bench::bench_options(images, shards);
+                           options.adaptive_lookahead = adaptive;
+                           BenchRecord record = bench::measure_run(
+                               options, [] { ring_workload(4); });
+                           record.metrics.emplace_back("images", images);
+                           if (shards == 1) {
+                             record.metrics.emplace_back("shards", 1.0);
+                           } else {
+                             record.metrics.emplace_back(
+                                 "adaptive", adaptive ? 1.0 : 0.0);
+                           }
+                           return record;
+                         }});
+      }
     }
   }
   return sweep;

@@ -22,20 +22,25 @@ Network::Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed)
   reliable_ = params_.reliable_delivery();
   faults_active_ = params_.faults.active();
   if (engine.sharded()) {
-    // The retransmission protocol mutates per-link state from both endpoints
-    // of a flight; it only runs on the single-shard engine (the runtime
-    // forces shards=1 whenever reliability is active).
-    CAF2_REQUIRE(!reliable_,
-                 "reliable delivery requires an unsharded engine (shards=1)");
     SplitMix64 seeder(seed);
-    shard_jitter_.reserve(static_cast<std::size_t>(engine.shard_count()));
-    for (int shard = 0; shard < engine.shard_count(); ++shard) {
-      // child(0) is unused here and child(1) feeds the fault stream; the
-      // per-shard jitter streams start at child(2).
+    const int shard_count = engine.shard_count();
+    shard_jitter_.reserve(static_cast<std::size_t>(shard_count));
+    shard_fault_.reserve(static_cast<std::size_t>(shard_count));
+    for (int shard = 0; shard < shard_count; ++shard) {
+      // child(0) is unused here and child(1) feeds the legacy serial fault
+      // stream; the per-shard jitter streams are children 2..shard_count+1
+      // and the per-shard fault streams follow at shard_count+2 onward.
       shard_jitter_.emplace_back(
           seeder.child(static_cast<std::uint64_t>(shard) + 2));
+      shard_fault_.emplace_back(seeder.child(
+          static_cast<std::uint64_t>(shard_count) +
+          static_cast<std::uint64_t>(shard) + 2));
     }
   }
+  // One protocol cell per shard (one total for serial engines); flight ids
+  // carry the owning cell in their top 16 bits.
+  rel_shards_.resize(
+      engine.sharded() ? static_cast<std::size_t>(engine.shard_count()) : 1);
   if (reliable_) {
     links_.resize(static_cast<std::size_t>(engine.size()) *
                   static_cast<std::size_t>(engine.size()));
@@ -72,9 +77,51 @@ Xoshiro256ss& Network::jitter_rng() {
   return shard_jitter_[static_cast<std::size_t>(engine_.current_shard())];
 }
 
+Xoshiro256ss& Network::fault_rng() {
+  if (shard_fault_.empty()) {
+    return fault_rng_;
+  }
+  return shard_fault_[static_cast<std::size_t>(engine_.current_shard())];
+}
+
 bool Network::cross_shard(int source, int dest) const {
   return engine_.sharded() &&
          engine_.shard_of(source) != engine_.shard_of(dest);
+}
+
+int Network::calling_shard_index() const {
+  return engine_.sharded() ? engine_.current_shard() : 0;
+}
+
+FaultStats Network::fault_stats() const {
+  FaultStats total;
+  for (const ReliableShard& cell : rel_shards_) {
+    total.deliveries_dropped += cell.stats.deliveries_dropped;
+    total.deliveries_duplicated += cell.stats.deliveries_duplicated;
+    total.deliveries_delayed += cell.stats.deliveries_delayed;
+    total.acks_dropped += cell.stats.acks_dropped;
+    total.retransmits += cell.stats.retransmits;
+    total.duplicates_suppressed += cell.stats.duplicates_suppressed;
+    total.scripted_applied += cell.stats.scripted_applied;
+  }
+  return total;
+}
+
+std::vector<FaultStats> Network::shard_fault_stats() const {
+  std::vector<FaultStats> per_shard;
+  per_shard.reserve(rel_shards_.size());
+  for (const ReliableShard& cell : rel_shards_) {
+    per_shard.push_back(cell.stats);
+  }
+  return per_shard;
+}
+
+std::size_t Network::inflight_reliable() const {
+  std::size_t total = 0;
+  for (const ReliableShard& cell : rel_shards_) {
+    total += cell.inflight.size();
+  }
+  return total;
 }
 
 Network::Timing Network::plan(double now, std::size_t bytes) {
@@ -127,7 +174,8 @@ void Network::run_deliver_phase(Flight flight) {
   if (observer_ != nullptr) {
     const double now = engine_.now();
     span = observer_->flight_span(source, static_cast<int>(dest),
-                                  flight.init_us, now, bytes);
+                                  flight.init_us, now, bytes,
+                                  calling_shard_index());
     observer_->note_cause(static_cast<int>(dest), span);
     observer_->add(static_cast<int>(dest), obs::Counter::kMessagesDelivered);
     observer_->maxed(static_cast<int>(dest), obs::Counter::kMailboxHighWater,
@@ -284,7 +332,7 @@ void Network::send_staged(MessageHeader header, std::size_t size_hint,
 /// contract by construction (the runtime derives the lookahead from the
 /// wire latency).
 
-void Network::deliver_cross(Message message) {
+void Network::deliver_cross(Message message, double init_us) {
   const int source = message.header.source;
   const std::size_t dest = static_cast<std::size_t>(message.header.dest);
   const std::size_t bytes = message.size_bytes();
@@ -298,18 +346,34 @@ void Network::deliver_cross(Message message) {
     flight_recorder_->record(static_cast<int>(dest), engine_.now(),
                              obs::FrKind::kDeliver, source, bytes, handler);
   }
+  if (observer_ != nullptr) {
+    // The flight span lands on the *destination* shard's net lane; the
+    // source-side ack wake keeps no parent link (the span id would have to
+    // cross shards), which only costs the blame analyzer one ack-edge.
+    const double now = engine_.now();
+    const std::uint64_t span =
+        observer_->flight_span(source, static_cast<int>(dest), init_us, now,
+                               bytes, calling_shard_index());
+    observer_->note_cause(static_cast<int>(dest), span);
+    observer_->add(static_cast<int>(dest), obs::Counter::kMessagesDelivered);
+    observer_->maxed(static_cast<int>(dest), obs::Counter::kMailboxHighWater,
+                     mailboxes_[dest].size());
+    observer_->observe(static_cast<int>(dest), obs::Hist::kMessageLatency,
+                       now - init_us);
+  }
 }
 
 void Network::send_cross(Message message, SendCallbacks callbacks) {
-  const Timing timing = plan(engine_.now(), message.size_bytes());
+  const double init_us = engine_.now();
+  const Timing timing = plan(init_us, message.size_bytes());
   account_send(message);
   const int dest = message.header.dest;
   if (callbacks.on_staged) {
     engine_.post(timing.stage_at, std::move(callbacks.on_staged));
   }
   engine_.post_for(dest, timing.deliver_at,
-                   [this, msg = std::move(message)]() mutable {
-                     deliver_cross(std::move(msg));
+                   [this, init_us, msg = std::move(message)]() mutable {
+                     deliver_cross(std::move(msg), init_us);
                    });
   if (callbacks.on_acked) {
     engine_.post(timing.ack_at, std::move(callbacks.on_acked));
@@ -320,11 +384,12 @@ void Network::send_staged_cross(
     MessageHeader header, std::size_t size_hint,
     std::function<std::vector<std::uint8_t>()> read,
     SendCallbacks callbacks) {
-  const Timing timing = plan(engine_.now(), size_hint);
+  const double init_us = engine_.now();
+  const Timing timing = plan(init_us, size_hint);
   // As on the legacy path, the source buffer is read at staging time: the
   // "overwrite before cofence()" hazard stays real across shards.
   engine_.post(timing.stage_at,
-               [this, header, timing, read = std::move(read),
+               [this, header, timing, init_us, read = std::move(read),
                 callbacks = std::move(callbacks)]() mutable {
                  Message message;
                  message.header = header;
@@ -334,8 +399,9 @@ void Network::send_staged_cross(
                  }
                  account_send(message);
                  engine_.post_for(header.dest, timing.deliver_at,
-                                  [this, msg = std::move(message)]() mutable {
-                                    deliver_cross(std::move(msg));
+                                  [this, init_us,
+                                   msg = std::move(message)]() mutable {
+                                    deliver_cross(std::move(msg), init_us);
                                   });
                  if (callbacks.on_acked) {
                    engine_.post(timing.ack_at, std::move(callbacks.on_acked));
@@ -374,7 +440,10 @@ std::uint64_t Network::admit_flight(Message message, SendCallbacks callbacks,
                                     double inject_us) {
   account_send(message);
   LinkState& sender = link(message.header.source, message.header.dest);
-  const std::uint64_t id = next_flight_id_++;
+  ReliableShard& cell = rel_shard();
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(calling_shard_index()) << 48) |
+      cell.next_flight_id++;
   ReliableFlight flight;
   flight.seq = sender.next_seq++;
   flight.ordinal = ++sender.initiated;
@@ -385,28 +454,30 @@ std::uint64_t Network::admit_flight(Message message, SendCallbacks callbacks,
                       : auto_rto(inject_us);
   flight.callbacks = std::move(callbacks);
   flight.message = std::make_shared<const Message>(std::move(message));
-  inflight_.emplace(id, std::move(flight));
+  cell.inflight.emplace(id, std::move(flight));
   return id;
 }
 
 Network::AttemptFaults Network::roll_faults(const ReliableFlight& flight) {
   AttemptFaults faults;
   if (params_.jitter_us > 0.0) {
-    faults.jitter_us = jitter_rng_.next_double() * params_.jitter_us;
+    faults.jitter_us = jitter_rng().next_double() * params_.jitter_us;
   }
   if (!faults_active_) {
     return faults;
   }
   const MessageHeader& header = flight.message->header;
   // A fixed number of fault-stream draws per attempt keeps the stream
-  // aligned no matter which faults actually fire.
-  const double u_drop = fault_rng_.next_double();
-  const double u_dup = fault_rng_.next_double();
-  const double u_ack = fault_rng_.next_double();
-  const double u_dup_ack = fault_rng_.next_double();
-  const double u_delay = fault_rng_.next_double();
-  const double u_delay_amount = fault_rng_.next_double();
-  const double u_dup_offset = fault_rng_.next_double();
+  // aligned no matter which faults actually fire. On a sharded engine the
+  // draws come from the calling (source) shard's stream.
+  Xoshiro256ss& rng = fault_rng();
+  const double u_drop = rng.next_double();
+  const double u_dup = rng.next_double();
+  const double u_ack = rng.next_double();
+  const double u_dup_ack = rng.next_double();
+  const double u_delay = rng.next_double();
+  const double u_delay_amount = rng.next_double();
+  const double u_dup_offset = rng.next_double();
 
   const LinkFaults& lf =
       params_.faults.resolve(header.source, header.dest);
@@ -425,7 +496,7 @@ Network::AttemptFaults Network::roll_faults(const ReliableFlight& flight) {
         (scripted.attempt != 0 && scripted.attempt != flight.attempts)) {
       continue;
     }
-    fault_stats_.scripted_applied += 1;
+    rel_shard().stats.scripted_applied += 1;
     switch (scripted.kind) {
       case FaultKind::kDrop:
         faults.drop = true;
@@ -442,15 +513,16 @@ Network::AttemptFaults Network::roll_faults(const ReliableFlight& flight) {
 }
 
 void Network::start_attempt(std::uint64_t id) {
-  auto it = inflight_.find(id);
-  CAF2_ASSERT(it != inflight_.end(), "start_attempt: unknown flight");
+  ReliableShard& cell = rel_shard_of(id);
+  auto it = cell.inflight.find(id);
+  CAF2_ASSERT(it != cell.inflight.end(), "start_attempt: unknown flight");
   ReliableFlight& flight = it->second;
   flight.attempts += 1;
 
   const AttemptFaults faults = roll_faults(flight);
   const int fault_source = flight.message->header.source;
   if (faults.drop) {
-    fault_stats_.deliveries_dropped += 1;
+    cell.stats.deliveries_dropped += 1;
     if (flight_recorder_ != nullptr) {
       flight_recorder_->record(fault_source, engine_.now(),
                                obs::FrKind::kFaultDrop,
@@ -459,7 +531,7 @@ void Network::start_attempt(std::uint64_t id) {
     }
   }
   if (faults.duplicate) {
-    fault_stats_.deliveries_duplicated += 1;
+    cell.stats.deliveries_duplicated += 1;
     if (flight_recorder_ != nullptr) {
       flight_recorder_->record(fault_source, engine_.now(),
                                obs::FrKind::kFaultDuplicate,
@@ -468,7 +540,7 @@ void Network::start_attempt(std::uint64_t id) {
     }
   }
   if (faults.extra_delay_us > 0.0) {
-    fault_stats_.deliveries_delayed += 1;
+    cell.stats.deliveries_delayed += 1;
     if (flight_recorder_ != nullptr) {
       flight_recorder_->record(fault_source, engine_.now(),
                                obs::FrKind::kFaultDelay,
@@ -490,19 +562,78 @@ void Network::start_attempt(std::uint64_t id) {
   }
   const double deliver_at = base + params_.latency_us + faults.jitter_us +
                             faults.extra_delay_us;
-  if (!faults.drop) {
-    engine_.post(deliver_at, [this, message = flight.message,
-                              seq = flight.seq, id,
-                              ack_dropped = faults.ack_drop] {
-      deliver_attempt(message, seq, id, ack_dropped);
-    });
-  }
-  if (faults.duplicate) {
-    engine_.post(deliver_at + faults.dup_offset_us,
-                 [this, message = flight.message, seq = flight.seq, id,
-                  ack_dropped = faults.dup_ack_drop] {
-                   deliver_attempt(message, seq, id, ack_dropped);
-                 });
+  const MessageHeader& header = flight.message->header;
+  if (!cross_shard(header.source, header.dest)) {
+    if (!faults.drop) {
+      engine_.post(deliver_at, [this, message = flight.message,
+                                seq = flight.seq, id,
+                                ack_dropped = faults.ack_drop] {
+        deliver_attempt(message, seq, id, ack_dropped);
+      });
+    }
+    if (faults.duplicate) {
+      engine_.post(deliver_at + faults.dup_offset_us,
+                   [this, message = flight.message, seq = flight.seq, id,
+                    ack_dropped = faults.dup_ack_drop] {
+                     deliver_attempt(message, seq, id, ack_dropped);
+                   });
+    }
+  } else {
+    // Cross-shard attempt (DESIGN.md §4.12): the deliveries go through the
+    // destination shard's inbox carrying their metadata in the closure, and
+    // the sender simulates the acks itself. Every fault decision — including
+    // both ack losses — was just rolled above, and the receiver acks every
+    // non-dropped physical delivery unconditionally (dedup outcome included),
+    // so each delivery's ack time is already known here: the delivery time
+    // plus the ack latency. handle_ack is idempotent, so simulating both
+    // acks is exactly the legacy protocol without any event crossing back
+    // against the conservative window (the ack latency may be below the
+    // lookahead). deliver_at >= now + latency_us >= now + lookahead keeps
+    // the forward direction legal.
+    const double ack_latency = params_.effective_ack_latency_us();
+    if (!faults.drop) {
+      engine_.post_for(header.dest, deliver_at,
+                       [this, message = flight.message, seq = flight.seq,
+                        first_sent = flight.first_sent_us,
+                        expected = flight.expected_deliver_us] {
+                         deliver_attempt_cross(message, seq, first_sent,
+                                               expected);
+                       });
+      if (faults.ack_drop) {
+        // Charged at roll time on the sender's ring (the receiver can't
+        // touch source-shard counters); totals match the legacy protocol
+        // because every launched non-dropped delivery lands.
+        cell.stats.acks_dropped += 1;
+        if (flight_recorder_ != nullptr) {
+          flight_recorder_->record(header.source, engine_.now(),
+                                   obs::FrKind::kFaultAckLoss, header.dest,
+                                   flight.seq, 0);
+        }
+      } else {
+        engine_.post(deliver_at + ack_latency,
+                     [this, id] { handle_ack(id); });
+      }
+    }
+    if (faults.duplicate) {
+      const double dup_at = deliver_at + faults.dup_offset_us;
+      engine_.post_for(header.dest, dup_at,
+                       [this, message = flight.message, seq = flight.seq,
+                        first_sent = flight.first_sent_us,
+                        expected = flight.expected_deliver_us] {
+                         deliver_attempt_cross(message, seq, first_sent,
+                                               expected);
+                       });
+      if (faults.dup_ack_drop) {
+        cell.stats.acks_dropped += 1;
+        if (flight_recorder_ != nullptr) {
+          flight_recorder_->record(header.source, engine_.now(),
+                                   obs::FrKind::kFaultAckLoss, header.dest,
+                                   flight.seq, 0);
+        }
+      } else {
+        engine_.post(dup_at + ack_latency, [this, id] { handle_ack(id); });
+      }
+    }
   }
   engine_.post(engine_.now() + flight.rto_us,
                [this, id, attempt = flight.attempts] {
@@ -515,6 +646,7 @@ void Network::deliver_attempt(const std::shared_ptr<const Message>& message,
                               bool ack_dropped) {
   const MessageHeader& header = message->header;
   LinkState& receiver = link(header.source, header.dest);
+  ReliableShard& cell = rel_shard_of(flight_id);  // == the calling shard's
   if (receiver.accept(seq)) {
     const std::size_t dest = static_cast<std::size_t>(header.dest);
     traffic_[dest].messages_in += 1;
@@ -531,14 +663,16 @@ void Network::deliver_attempt(const std::shared_ptr<const Message>& message,
       const double now = engine_.now();
       double begin = now;
       double expected = now;
-      const auto it = inflight_.find(flight_id);  // present until acked
-      if (it != inflight_.end()) {
+      const auto it = cell.inflight.find(flight_id);  // present until acked
+      if (it != cell.inflight.end()) {
         begin = it->second.first_sent_us;
         expected = it->second.expected_deliver_us;
       }
-      const std::uint64_t span = observer_->flight_span(
-          header.source, header.dest, begin, now, message->size_bytes());
-      if (it != inflight_.end()) {
+      const int lane = calling_shard_index();
+      const std::uint64_t span =
+          observer_->flight_span(header.source, header.dest, begin, now,
+                                 message->size_bytes(), lane);
+      if (it != cell.inflight.end()) {
         it->second.obs_span = span;
       }
       observer_->note_cause(header.dest, span);
@@ -549,16 +683,17 @@ void Network::deliver_attempt(const std::shared_ptr<const Message>& message,
       if (now > expected + 1e-9) {
         // The paper's satellite claim: time a fault added shows up as
         // network blame, not as whatever construct happened to be waiting.
-        observer_->retransmit_span(header.dest, header.source, expected, now);
+        observer_->retransmit_span(header.dest, header.source, expected, now,
+                                   lane);
       }
     }
   } else {
-    fault_stats_.duplicates_suppressed += 1;
+    cell.stats.duplicates_suppressed += 1;
   }
   // Duplicates and retransmits are re-acknowledged: that is what recovers
   // from a lost ack without redelivering the message.
   if (ack_dropped) {
-    fault_stats_.acks_dropped += 1;
+    cell.stats.acks_dropped += 1;
     if (flight_recorder_ != nullptr) {
       flight_recorder_->record(header.source, engine_.now(),
                                obs::FrKind::kFaultAckLoss, header.dest, seq, 0);
@@ -569,9 +704,54 @@ void Network::deliver_attempt(const std::shared_ptr<const Message>& message,
                [this, flight_id] { handle_ack(flight_id); });
 }
 
+void Network::deliver_attempt_cross(
+    const std::shared_ptr<const Message>& message, std::uint64_t seq,
+    double first_sent_us, double expected_deliver_us) {
+  const MessageHeader& header = message->header;
+  // The link's dedup fields are only ever touched here, on the destination
+  // shard; its sender fields only on the source shard.
+  LinkState& receiver = link(header.source, header.dest);
+  if (!receiver.accept(seq)) {
+    // Dedup hits are the one counter charged to the destination shard.
+    rel_shard().stats.duplicates_suppressed += 1;
+    return;
+  }
+  const std::size_t dest = static_cast<std::size_t>(header.dest);
+  traffic_[dest].messages_in += 1;
+  traffic_[dest].bytes_in += message->size_bytes();
+  mailboxes_[dest].push(*message);
+  engine_.unblock(header.dest);
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->record(header.dest, engine_.now(), obs::FrKind::kDeliver,
+                             header.source, message->size_bytes(),
+                             static_cast<std::uint64_t>(header.handler));
+  }
+  if (observer_ != nullptr) {
+    const double now = engine_.now();
+    const int lane = calling_shard_index();
+    const std::uint64_t span =
+        observer_->flight_span(header.source, header.dest, first_sent_us, now,
+                               message->size_bytes(), lane);
+    // No obs_span backlink: the flight record lives on the source shard, so
+    // the eventual ack wake there carries no parent span (handle_ack skips
+    // note_cause when the span id is zero).
+    observer_->note_cause(header.dest, span);
+    observer_->add(header.dest, obs::Counter::kMessagesDelivered);
+    observer_->maxed(header.dest, obs::Counter::kMailboxHighWater,
+                     mailboxes_[dest].size());
+    observer_->observe(header.dest, obs::Hist::kMessageLatency,
+                       now - first_sent_us);
+    if (now > expected_deliver_us + 1e-9) {
+      observer_->retransmit_span(header.dest, header.source,
+                                 expected_deliver_us, now, lane);
+    }
+  }
+}
+
 void Network::handle_ack(std::uint64_t id) {
-  auto it = inflight_.find(id);
-  if (it == inflight_.end()) {
+  ReliableShard& cell = rel_shard_of(id);
+  auto it = cell.inflight.find(id);
+  if (it == cell.inflight.end()) {
     return;  // duplicate or late ack of a completed flight
   }
   if (flight_recorder_ != nullptr) {
@@ -584,22 +764,26 @@ void Network::handle_ack(std::uint64_t id) {
     const ReliableFlight& flight = it->second;
     const MessageHeader& header = flight.message->header;
     const double now = engine_.now();
-    observer_->note_cause(header.source, flight.obs_span);
+    if (flight.obs_span != 0) {
+      observer_->note_cause(header.source, flight.obs_span);
+    }
     if (now > flight.expected_ack_us + 1e-9) {
       observer_->retransmit_span(header.source, header.dest,
-                                 flight.expected_ack_us, now);
+                                 flight.expected_ack_us, now,
+                                 calling_shard_index());
     }
   }
   SendCallbacks callbacks = std::move(it->second.callbacks);
-  inflight_.erase(it);
+  cell.inflight.erase(it);
   if (callbacks.on_acked) {
     callbacks.on_acked();
   }
 }
 
 void Network::on_retransmit_timer(std::uint64_t id, int attempt) {
-  auto it = inflight_.find(id);
-  if (it == inflight_.end()) {
+  ReliableShard& cell = rel_shard_of(id);
+  auto it = cell.inflight.find(id);
+  if (it == cell.inflight.end()) {
     return;  // acknowledged; the timer is stale
   }
   ReliableFlight& flight = it->second;
@@ -619,7 +803,7 @@ void Network::on_retransmit_timer(std::uint64_t id, int attempt) {
     engine_.fail(os.str(), obs::FailKind::kRetryCap);
     return;
   }
-  fault_stats_.retransmits += 1;
+  cell.stats.retransmits += 1;
   if (observer_ != nullptr) {
     observer_->add(flight.message->header.source,
                    obs::Counter::kMessagesRetransmitted);
@@ -642,8 +826,9 @@ void Network::send_reliable(Message message, SendCallbacks callbacks) {
   const std::uint64_t id =
       admit_flight(std::move(message), std::move(callbacks), inject);
   engine_.post(stage_at, [this, id] {
-    auto it = inflight_.find(id);
-    CAF2_ASSERT(it != inflight_.end(), "reliable stage: unknown flight");
+    ReliableShard& cell = rel_shard_of(id);
+    auto it = cell.inflight.find(id);
+    CAF2_ASSERT(it != cell.inflight.end(), "reliable stage: unknown flight");
     if (it->second.callbacks.on_staged) {
       auto staged = std::move(it->second.callbacks.on_staged);
       it->second.callbacks.on_staged = nullptr;
@@ -678,26 +863,30 @@ void Network::send_staged_reliable(
 void Network::fill_postmortem(obs::PmNetwork& net) const {
   net.present = true;
   net.reliable = reliable_;
-  net.faults = fault_stats_;
-  net.inflight_total = inflight_.size();
+  net.faults = fault_stats();
+  net.inflight_total = inflight_reliable();
   net.inflight.clear();
-  for (const auto& [id, flight] : inflight_) {
-    if (net.inflight.size() == obs::kMaxListedFlights) {
-      break;
+  // Cells in shard order, flights by id within a cell: a deterministic
+  // listing for a fixed shard count.
+  for (const ReliableShard& cell : rel_shards_) {
+    for (const auto& [id, flight] : cell.inflight) {
+      if (net.inflight.size() == obs::kMaxListedFlights) {
+        return;
+      }
+      const MessageHeader& header = flight.message->header;
+      obs::PmFlight pm;
+      pm.source = header.source;
+      pm.dest = header.dest;
+      pm.seq = flight.seq;
+      pm.ordinal = flight.ordinal;
+      pm.attempts = flight.attempts;
+      pm.max_attempts = params_.reliability.max_attempts;
+      pm.handler = header.handler;
+      pm.bytes = flight.message->size_bytes();
+      pm.first_sent_us = flight.first_sent_us;
+      pm.rto_us = flight.rto_us;
+      net.inflight.push_back(pm);
     }
-    const MessageHeader& header = flight.message->header;
-    obs::PmFlight pm;
-    pm.source = header.source;
-    pm.dest = header.dest;
-    pm.seq = flight.seq;
-    pm.ordinal = flight.ordinal;
-    pm.attempts = flight.attempts;
-    pm.max_attempts = params_.reliability.max_attempts;
-    pm.handler = header.handler;
-    pm.bytes = flight.message->size_bytes();
-    pm.first_sent_us = flight.first_sent_us;
-    pm.rto_us = flight.rto_us;
-    net.inflight.push_back(pm);
   }
 }
 

@@ -41,19 +41,35 @@
 /// and cofence hazards are oblivious to loss. When the protocol is off, the
 /// seed's bare three-event flight chain runs unchanged.
 ///
-/// Sharded engines (DESIGN.md §4.11). When the engine partitions images
-/// across worker threads, a send whose source and destination live on the
-/// same shard takes the legacy path verbatim. A cross-shard send draws its
-/// whole timing plan at initiation from the *source shard's* jitter stream
-/// (one independent stream per shard keeps multi-shard runs deterministic
-/// for a fixed shard count), runs on_staged and on_acked on the source
-/// shard at their planned times, and hands the delivery to the destination
-/// shard through Engine::post_for(), which stages it into that shard's
-/// inbox for the next window merge. deliver_at >= now + latency >= now +
-/// lookahead by construction, so the conservative-window contract holds.
-/// The reliable-delivery protocol mutates shared per-link state on both
-/// sides of a flight and therefore requires an unsharded engine (the
-/// runtime forces shards=1 whenever it is active).
+/// Sharded engines (DESIGN.md §4.11, §4.12). When the engine partitions
+/// images across worker threads, a send whose source and destination live on
+/// the same shard takes the legacy path verbatim. A cross-shard send draws
+/// its whole timing plan at initiation from the *source shard's* jitter
+/// stream (one independent stream per shard keeps multi-shard runs
+/// deterministic for a fixed shard count), runs on_staged and on_acked on
+/// the source shard at their planned times, and hands the delivery to the
+/// destination shard through Engine::post_for(), which stages it into that
+/// shard's inbox for the next window merge. deliver_at >= now + latency >=
+/// now + lookahead by construction, so the conservative-window contract
+/// holds.
+///
+/// The reliable-delivery protocol runs sharded too (DESIGN.md §4.12).
+/// Protocol state is owned by the *source* shard: retained flights, flight
+/// ids, retransmit timers, and the fault counters live in per-shard cells
+/// (ReliableShard), and each shard rolls its attempts from its own fault
+/// stream. A link's sender fields (next_seq, initiated) are only ever
+/// touched by the source image's shard and its dedup fields (dedup_floor,
+/// seen) only by the destination's, so LinkState needs no further
+/// partitioning. Every fault decision of an attempt — including both ack
+/// losses — is rolled at the sender before anything is scheduled, and the
+/// receiver acknowledges every non-ack-dropped physical delivery regardless
+/// of its dedup outcome; the sender can therefore schedule handle_ack at the
+/// delivery's known time plus ack latency *itself*, with no cross-shard
+/// return event (an ack latency below the lookahead would otherwise violate
+/// the conservative window). Ack cancellation is then a plain source-local
+/// map erase — no tombstones cross shards. A cross-shard delivery carries
+/// its metadata (seq, first-sent, expected-delivery marks) in the event
+/// closure instead of reading the sender-owned flight record.
 
 #include <atomic>
 #include <cstdint>
@@ -140,11 +156,19 @@ class Network {
   /// True when the reliable-delivery protocol is layered in for this run.
   bool reliable() const { return reliable_; }
 
-  /// Injected-fault and protocol counters (all zero when reliable() is off).
-  const FaultStats& fault_stats() const { return fault_stats_; }
+  /// Injected-fault and protocol counters, aggregated over shards (all zero
+  /// when reliable() is off).
+  FaultStats fault_stats() const;
 
-  /// Number of reliable messages currently unacknowledged.
-  std::size_t inflight_reliable() const { return inflight_.size(); }
+  /// Per-shard fault/protocol counters (one entry per engine shard; a single
+  /// entry for serial runs). Deliveries dropped/duplicated/delayed, ack
+  /// losses, and retransmits are charged to the *source* shard;
+  /// duplicates_suppressed to the destination shard.
+  std::vector<FaultStats> shard_fault_stats() const;
+
+  /// Number of reliable messages currently unacknowledged (summed over
+  /// shards).
+  std::size_t inflight_reliable() const;
 
   /// Watchdog-report section: in-flight reliable messages (sender, receiver,
   /// sequence number, attempts, age) plus the fault counters. Thin shim over
@@ -181,8 +205,18 @@ class Network {
   /// calling shard on a sharded engine, the single legacy stream otherwise.
   Xoshiro256ss& jitter_rng();
 
+  /// The fault stream attempt decisions come from: the per-shard stream of
+  /// the calling shard on a sharded engine, the single legacy stream
+  /// otherwise.
+  Xoshiro256ss& fault_rng();
+
   /// True when source and destination images live on different shards.
   bool cross_shard(int source, int dest) const;
+
+  /// The calling context's shard index (0 on an unsharded engine) — the
+  /// recorder net lane and ReliableShard cell every source-side operation
+  /// uses.
+  int calling_shard_index() const;
 
   /// One in-flight message. A flight owns the message plus its completion
   /// callbacks and walks the stage → deliver → ack chain as a *single*
@@ -221,8 +255,11 @@ class Network {
                          SendCallbacks callbacks);
 
   /// Destination-shard half of a cross-shard send: runs as a staged call on
-  /// the destination shard (mailbox push, unblock, flight-recorder entry).
-  void deliver_cross(Message message);
+  /// the destination shard (mailbox push, unblock, flight-recorder entry,
+  /// observer spans on the destination shard's net lane). \p init_us is the
+  /// send's initiation time, carried in the closure because the flight
+  /// record stays on the source shard.
+  void deliver_cross(Message message, double init_us);
 
   /// --- reliable-delivery protocol ------------------------------------------
 
@@ -277,20 +314,35 @@ class Network {
                             std::function<std::vector<std::uint8_t>()> read,
                             SendCallbacks callbacks);
 
-  /// Register a new flight (assigns link seq + ordinal) and return its id.
+  /// Register a new flight (assigns link seq + ordinal) in the calling
+  /// shard's cell and return its id (source shard in the top 16 bits, cell-
+  /// local counter below — serial ids are the plain counter).
   std::uint64_t admit_flight(Message message, SendCallbacks callbacks,
                              double inject_us);
 
   /// Launch the next delivery attempt of flight \p id: roll faults, post the
-  /// delivery (and duplicate) events, and arm the retransmit timer.
+  /// delivery (and duplicate) events, and arm the retransmit timer. For a
+  /// cross-shard flight the deliveries go through Engine::post_for and the
+  /// sender schedules handle_ack itself at the known delivery time plus ack
+  /// latency (see the file comment), so no event ever crosses back against
+  /// the conservative window.
   void start_attempt(std::uint64_t id);
 
   AttemptFaults roll_faults(const ReliableFlight& flight);
 
-  /// Receiver side of one physical delivery (primary or duplicate).
+  /// Receiver side of one physical delivery (primary or duplicate) when both
+  /// endpoints share a shard: may read the sender-owned flight record
+  /// directly and posts the ack itself.
   void deliver_attempt(const std::shared_ptr<const Message>& message,
                        std::uint64_t seq, std::uint64_t flight_id,
                        bool ack_dropped);
+
+  /// Receiver side of one cross-shard physical delivery: all metadata rides
+  /// in the arguments, the sender-owned flight record is never touched, and
+  /// no ack is posted (the sender simulated it at schedule time).
+  void deliver_attempt_cross(const std::shared_ptr<const Message>& message,
+                             std::uint64_t seq, double first_sent_us,
+                             double expected_deliver_us);
 
   /// Sender side of one acknowledgement; idempotent (late/duplicate acks of
   /// an already-completed flight are ignored).
@@ -323,11 +375,32 @@ class Network {
   bool reliable_ = false;
   bool faults_active_ = false;
   Xoshiro256ss fault_rng_;
+  /// One fault stream per shard on a sharded engine (empty otherwise),
+  /// mirroring shard_jitter_: each shard's attempt decisions are a pure
+  /// function of its own deterministic execution.
+  std::vector<Xoshiro256ss> shard_fault_;
   std::vector<LinkState> links_;  ///< size() * size(), row-major by source
-  std::map<std::uint64_t, ReliableFlight> inflight_;
-  std::uint64_t next_flight_id_ = 0;
+  /// Per-shard reliable-protocol cell: the flights retained by this (source)
+  /// shard, its flight-id counter, and its fault counters. Flight ids are
+  /// (shard << 48) | local, so id >> 48 recovers the owning cell from
+  /// anywhere (serial runs use cell 0 and get the plain counter).
+  struct ReliableShard {
+    std::map<std::uint64_t, ReliableFlight> inflight;
+    std::uint64_t next_flight_id = 0;
+    FaultStats stats;
+  };
+  std::vector<ReliableShard> rel_shards_;  ///< engine shard count cells (>= 1)
+
+  /// The calling shard's protocol cell.
+  ReliableShard& rel_shard() {
+    return rel_shards_[static_cast<std::size_t>(calling_shard_index())];
+  }
+  /// The cell owning flight \p id (its source shard's).
+  ReliableShard& rel_shard_of(std::uint64_t id) {
+    return rel_shards_[static_cast<std::size_t>(id >> 48)];
+  }
+
   double max_extra_delay_us_ = 0.0;
-  FaultStats fault_stats_;
   obs::Recorder* observer_ = nullptr;
   obs::FlightRecorder* flight_recorder_ = nullptr;
 };

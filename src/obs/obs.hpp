@@ -21,9 +21,21 @@
 ///  - a hook may only append to per-image buffers and bump counters;
 ///  - a hook never schedules events, blocks, allocates engine resources, or
 ///    reads engine-private state;
-///  - the engine runs at most one context at a time (participant or engine
-///    callback), so per-image recorder state needs no locking — exactly the
+///  - the engine runs at most one context at a time *per shard* (participant
+///    or engine callback), and every per-image hook fires on the image's
+///    home shard, so per-image recorder state needs no locking — exactly the
 ///    argument that covers Image state (runtime/image.hpp).
+///
+/// Sharded runs (DESIGN.md §4.12): the single network track of the serial
+/// recorder would be a cross-shard race, so the recorder keeps one network
+/// *lane* per engine shard (the net_lanes constructor argument); the network
+/// layer records each flight on the calling shard's lane. Span ids are
+/// composite — (track ordinal, per-track counter) packed into 64 bits — so
+/// id assignment is track-local and deterministic without any cross-shard
+/// coordination. take()/snapshot() merge the lanes into the capture's single
+/// network track by (begin, end, image, peer, id), a total order, so the
+/// exported capture is deterministic for a fixed shard count and identical
+/// across execution backends.
 
 #include <array>
 #include <cstdint>
@@ -174,7 +186,10 @@ struct Capture {
 /// disabled (callers test the pointer, so a disabled run pays one branch).
 class Recorder {
  public:
-  Recorder(int images, ObsConfig config);
+  /// \p net_lanes is the number of independent network-track lanes (one per
+  /// engine shard; 1 for serial runs). Lanes are merged into the capture's
+  /// single network track at take()/snapshot().
+  Recorder(int images, ObsConfig config, int net_lanes = 1);
 
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
@@ -210,14 +225,17 @@ class Recorder {
 
   /// --- network hooks -------------------------------------------------------
 
-  /// Record a delivered message [initiation, delivery) on the network track;
-  /// returns the span id (stable even when the span itself was dropped).
+  /// Record a delivered message [initiation, delivery) on network lane
+  /// \p lane (the calling engine shard; 0 for serial runs); returns the span
+  /// id (stable even when the span itself was dropped).
   std::uint64_t flight_span(int source, int dest, double begin, double end,
-                            std::uint64_t bytes);
+                            std::uint64_t bytes, int lane = 0);
 
   /// Record fault-induced extra wait [expected, actual) charged to \p image
-  /// (the endpoint whose completion the fault delayed).
-  void retransmit_span(int image, int peer, double begin, double end);
+  /// (the endpoint whose completion the fault delayed) on network lane
+  /// \p lane.
+  void retransmit_span(int image, int peer, double begin, double end,
+                       int lane = 0);
 
   /// Note that \p span_id is about to unblock \p image (delivery into its
   /// mailbox, or an ack completing its operation). The next blocked span
@@ -249,20 +267,41 @@ class Recorder {
     const char* block_reason = nullptr;
     bool blocked = false;
     std::uint64_t cause = 0;  ///< pending parent for the next blocked span
+    std::uint64_t next_local = 0;  ///< per-track span id counter
+  };
+
+  /// One shard's slice of the network track (serial runs have exactly one).
+  struct NetLane {
+    Track track;
+    std::uint64_t next_local = 0;  ///< per-lane span id counter
   };
 
   PerImage& at(int image);
   const PerImage& at(int image) const;
+  NetLane& lane_at(int lane);
 
-  /// Append \p span (assigning its id) under \p cap_bytes; counts drops into
-  /// the track and, when \p image_metrics is set, Counter::kSpansDropped.
-  std::uint64_t push_span(Track& track, std::size_t cap_bytes, Span span,
-                          Metrics* image_metrics);
+  /// Composite span id of the next span on track \p ordinal (image rank for
+  /// image tracks, images + lane for network lanes): nonzero, unique across
+  /// tracks, and assigned without cross-shard coordination.
+  static std::uint64_t compose_id(std::uint64_t ordinal,
+                                  std::uint64_t& next_local) {
+    return ((ordinal + 1) << 40) | ++next_local;
+  }
+
+  /// Append \p span (assigning its id from \p ordinal / \p next_local) under
+  /// \p cap_bytes; counts drops into the track and, when \p image_metrics is
+  /// set, Counter::kSpansDropped.
+  std::uint64_t push_span(Track& track, std::uint64_t ordinal,
+                          std::uint64_t& next_local, std::size_t cap_bytes,
+                          Span span, Metrics* image_metrics);
+
+  /// The capture's single network track: lane 0 verbatim for serial runs,
+  /// else the deterministic (begin, end, image, peer, id) merge.
+  Track merged_net_track() const;
 
   ObsConfig config_;
   std::vector<PerImage> images_;
-  Track net_track_;
-  std::uint64_t next_id_ = 0;
+  std::vector<NetLane> net_lanes_;
 };
 
 /// RAII blame-context scope. Pass a null recorder to make it a no-op (the

@@ -114,10 +114,12 @@ void Histogram::add(double us) {
   buckets[static_cast<std::size_t>(bucket)] += 1;
 }
 
-Recorder::Recorder(int images, ObsConfig config)
+Recorder::Recorder(int images, ObsConfig config, int net_lanes)
     : config_(config),
-      images_(static_cast<std::size_t>(images > 0 ? images : 0)) {
+      images_(static_cast<std::size_t>(images > 0 ? images : 0)),
+      net_lanes_(static_cast<std::size_t>(net_lanes > 0 ? net_lanes : 0)) {
   CAF2_REQUIRE(images > 0, "obs::Recorder needs at least one image");
+  CAF2_REQUIRE(net_lanes > 0, "obs::Recorder needs at least one net lane");
 }
 
 Recorder::PerImage& Recorder::at(int image) {
@@ -132,10 +134,18 @@ const Recorder::PerImage& Recorder::at(int image) const {
   return images_[static_cast<std::size_t>(image)];
 }
 
-std::uint64_t Recorder::push_span(Track& track, std::size_t cap_bytes,
-                                  Span span, Metrics* image_metrics) {
-  next_id_ += 1;
-  span.id = next_id_;
+Recorder::NetLane& Recorder::lane_at(int lane) {
+  CAF2_REQUIRE(lane >= 0 &&
+                   static_cast<std::size_t>(lane) < net_lanes_.size(),
+               "obs::Recorder: net lane out of range");
+  return net_lanes_[static_cast<std::size_t>(lane)];
+}
+
+std::uint64_t Recorder::push_span(Track& track, std::uint64_t ordinal,
+                                  std::uint64_t& next_local,
+                                  std::size_t cap_bytes, Span span,
+                                  Metrics* image_metrics) {
+  span.id = compose_id(ordinal, next_local);
   if ((track.spans.size() + 1) * sizeof(Span) > cap_bytes) {
     track.dropped += 1;
     if (image_metrics != nullptr) {
@@ -156,7 +166,8 @@ void Recorder::on_compute(int image, double begin, double end) {
   span.image = image;
   span.kind = SpanKind::kCompute;
   span.blame = Blame::kCompute;
-  push_span(state.track, config_.max_image_track_bytes, span, &state.metrics);
+  push_span(state.track, static_cast<std::uint64_t>(image), state.next_local,
+            config_.max_image_track_bytes, span, &state.metrics);
 }
 
 void Recorder::on_block_begin(int image, double at_us, const char* reason) {
@@ -183,7 +194,8 @@ void Recorder::on_block_end(int image, double at_us) {
                                          : state.blame_stack.back();
   span.label = state.block_reason;
   state.cause = 0;
-  push_span(state.track, config_.max_image_track_bytes, span, &state.metrics);
+  push_span(state.track, static_cast<std::uint64_t>(image), state.next_local,
+            config_.max_image_track_bytes, span, &state.metrics);
   state.metrics.hists[static_cast<std::size_t>(Hist::kBlockedTime)].add(
       at_us - span.begin);
 }
@@ -217,11 +229,14 @@ void Recorder::op_span(int image, SpanKind kind, double begin, double end,
   span.kind = kind;
   span.blame = Blame::kCompute;
   span.label = label;
-  push_span(state.track, config_.max_image_track_bytes, span, &state.metrics);
+  push_span(state.track, static_cast<std::uint64_t>(image), state.next_local,
+            config_.max_image_track_bytes, span, &state.metrics);
 }
 
 std::uint64_t Recorder::flight_span(int source, int dest, double begin,
-                                    double end, std::uint64_t bytes) {
+                                    double end, std::uint64_t bytes,
+                                    int lane) {
+  NetLane& slot = lane_at(lane);
   Span span;
   span.begin = begin;
   span.end = end;
@@ -230,10 +245,15 @@ std::uint64_t Recorder::flight_span(int source, int dest, double begin,
   span.peer = dest;
   span.kind = SpanKind::kFlight;
   span.blame = Blame::kNetwork;
-  return push_span(net_track_, config_.max_net_track_bytes, span, nullptr);
+  const std::uint64_t ordinal =
+      static_cast<std::uint64_t>(images()) + static_cast<std::uint64_t>(lane);
+  return push_span(slot.track, ordinal, slot.next_local,
+                   config_.max_net_track_bytes, span, nullptr);
 }
 
-void Recorder::retransmit_span(int image, int peer, double begin, double end) {
+void Recorder::retransmit_span(int image, int peer, double begin, double end,
+                               int lane) {
+  NetLane& slot = lane_at(lane);
   Span span;
   span.begin = begin;
   span.end = end;
@@ -241,7 +261,10 @@ void Recorder::retransmit_span(int image, int peer, double begin, double end) {
   span.peer = peer;
   span.kind = SpanKind::kRetransmitDelay;
   span.blame = Blame::kNetwork;
-  push_span(net_track_, config_.max_net_track_bytes, span, nullptr);
+  const std::uint64_t ordinal =
+      static_cast<std::uint64_t>(images()) + static_cast<std::uint64_t>(lane);
+  push_span(slot.track, ordinal, slot.next_local, config_.max_net_track_bytes,
+            span, nullptr);
 }
 
 void Recorder::note_cause(int image, std::uint64_t span_id) {
@@ -264,6 +287,43 @@ void Recorder::observe(int image, Hist h, double us) {
   at(image).metrics.hists[static_cast<std::size_t>(h)].add(us);
 }
 
+Track Recorder::merged_net_track() const {
+  if (net_lanes_.size() == 1) {
+    return net_lanes_[0].track;
+  }
+  Track merged;
+  std::size_t total = 0;
+  for (const NetLane& lane : net_lanes_) {
+    total += lane.track.spans.size();
+    merged.dropped += lane.track.dropped;
+  }
+  merged.spans.reserve(total);
+  for (const NetLane& lane : net_lanes_) {
+    merged.spans.insert(merged.spans.end(), lane.track.spans.begin(),
+                        lane.track.spans.end());
+  }
+  // (begin, end, image, peer, id) is a total order — ids are unique across
+  // lanes — so the merged track is identical for any lane fill order: the
+  // capture stays deterministic for a fixed shard count and across backends.
+  std::sort(merged.spans.begin(), merged.spans.end(),
+            [](const Span& a, const Span& b) {
+              if (a.begin != b.begin) {
+                return a.begin < b.begin;
+              }
+              if (a.end != b.end) {
+                return a.end < b.end;
+              }
+              if (a.image != b.image) {
+                return a.image < b.image;
+              }
+              if (a.peer != b.peer) {
+                return a.peer < b.peer;
+              }
+              return a.id < b.id;
+            });
+  return merged;
+}
+
 Capture Recorder::snapshot(double end_us, ExecBackend backend) const {
   Capture capture;
   capture.config = config_;
@@ -276,7 +336,7 @@ Capture Recorder::snapshot(double end_us, ExecBackend backend) const {
     capture.tracks.push_back(state.track);
     capture.metrics.push_back(state.metrics);
   }
-  capture.tracks.push_back(net_track_);
+  capture.tracks.push_back(merged_net_track());
   return capture;
 }
 
@@ -294,8 +354,14 @@ Capture Recorder::take(double end_us, ExecBackend backend) {
     state.track = Track{};
     state.metrics = Metrics{};
   }
-  capture.tracks.push_back(std::move(net_track_));
-  net_track_ = Track{};
+  if (net_lanes_.size() == 1) {
+    capture.tracks.push_back(std::move(net_lanes_[0].track));
+  } else {
+    capture.tracks.push_back(merged_net_track());
+  }
+  for (NetLane& lane : net_lanes_) {
+    lane.track = Track{};
+  }
   return capture;
 }
 

@@ -81,22 +81,22 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   engine_options.shards = options_.shards;
   // The conservative lookahead for sharded execution is the network's wire
   // latency: a cross-shard delivery can never land earlier than one latency
-  // after its send (net/network.hpp). The reliable-delivery protocol mutates
-  // shared per-link state on both endpoints of a flight, and the obs span
-  // recorder is single-threaded, so either forces lookahead 0 — and the
-  // engine falls back to one shard whenever no positive lookahead exists
-  // (that also covers zero-latency "instant" networks).
-  const bool sharding_safe =
-      !options_.net.reliable_delivery() && !options_.obs.enabled;
-  engine_options.lookahead_us =
-      sharding_safe ? options_.net.latency_us : 0.0;
+  // after its send (net/network.hpp). Reliable delivery and obs span capture
+  // both run sharded too (per-shard protocol cells and recorder net lanes,
+  // DESIGN.md §4.12); only a zero-latency "instant" network still forces the
+  // engine back to one shard, because it leaves no positive lookahead.
+  engine_options.lookahead_us = options_.net.latency_us;
+  engine_options.adaptive_lookahead = options_.adaptive_lookahead;
   engine_ = std::make_unique<sim::Engine>(options_.num_images,
                                           std::move(engine_options));
   network_ = std::make_unique<net::Network>(*engine_, options_.net,
                                             SplitMix64(options_.seed).child(0));
   if (options_.obs.enabled) {
+    // One net lane per engine shard: each shard appends flight spans to its
+    // own lane and the lanes merge deterministically at capture time.
     observer_ = std::make_unique<obs::Recorder>(options_.num_images,
-                                                options_.obs);
+                                                options_.obs,
+                                                engine_->shard_count());
     engine_->set_observer(observer_.get());
     network_->set_observer(observer_.get());
   }

@@ -44,6 +44,20 @@ int resolve_shards(int configured) {
   return 1;
 }
 
+bool resolve_adaptive_lookahead(bool configured) {
+  if (const char* env = std::getenv("CAF2_SIM_ADAPTIVE_LOOKAHEAD");
+      env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) {
+      return false;
+    }
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0) {
+      return true;
+    }
+    // Unknown values fall through to whatever was configured.
+  }
+  return configured;
+}
+
 namespace {
 /// The calling context's identity. Participant threads own theirs for the
 /// whole run; the fiber scheduler swaps it on every fiber switch (the
@@ -91,6 +105,7 @@ Engine::Engine(int participants, EngineOptions options)
   if (!sharded_) {
     lookahead_ = 0.0;
   }
+  adaptive_ = sharded_ && resolve_adaptive_lookahead(options_.adaptive_lookahead);
 
   participants_.reserve(static_cast<std::size_t>(participants));
   for (int i = 0; i < participants; ++i) {
@@ -467,7 +482,8 @@ void Engine::dispatch_chain(Shard& shard, std::unique_lock<std::mutex>& lock,
       // this one at the next window merge. The barrier performs the global
       // deadlock / budget / watchdog checks with every shard quiesced.
       if (shard.heap.empty() ||
-          shard.heap.top().at >= window_end_.load(std::memory_order_relaxed)) {
+          shard.heap.top().at >=
+              shard.window_end.load(std::memory_order_relaxed)) {
         shard_idle_locked(shard);
         return;
       }
@@ -655,7 +671,7 @@ void Engine::advance(double dt) {
            shard.now_us.load(std::memory_order_relaxed) + dt) &&
       (!sharded_ ||
        shard.now_us.load(std::memory_order_relaxed) + dt <
-           window_end_.load(std::memory_order_relaxed)) &&
+           shard.window_end.load(std::memory_order_relaxed)) &&
       (options_.max_events == 0 ||
        total_dispatched() < options_.max_events)) {
     record(shard, TraceKind::kAdvance, self.id);
@@ -882,13 +898,20 @@ bool Engine::advance_window_locked() {
     drain_inbox_locked(*shard);
   }
 
-  double global_min = std::numeric_limits<double>::infinity();
-  for (const auto& shard : shards_) {
-    if (!shard->heap.empty()) {
-      global_min = std::min(global_min, shard->heap.top().at);
+  // Per-shard lower bounds: the earliest pending event of each shard after
+  // the inbox merge (+inf for an empty heap). These are the window inputs
+  // for both lookahead modes and the broadcast the adaptive mode derives
+  // cross-shard windows from.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> tops(shards_.size(), kInf);
+  double global_min = kInf;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s]->heap.empty()) {
+      tops[s] = shards_[s]->heap.top().at;
+      global_min = std::min(global_min, tops[s]);
     }
   }
-  if (global_min == std::numeric_limits<double>::infinity()) {
+  if (global_min == kInf) {
     fail_pending(obs::FailKind::kDeadlock,
                  "deadlock: no pending events and every "
                  "unfinished participant is blocked",
@@ -919,15 +942,35 @@ bool Engine::advance_window_locked() {
     }
   }
 
-  // The merge clamp makes global_min non-decreasing across windows, so the
-  // max() is provably a no-op — kept as a defensive invariant: the window
-  // end must never move backwards once shard clocks have entered a window.
-  const double new_end = std::max(window_end_.load(std::memory_order_relaxed),
-                                  global_min + lookahead_);
-  window_end_.store(new_end, std::memory_order_relaxed);
   ++windows_;
-  for (const auto& shard : shards_) {
-    if (shard->heap.empty() || shard->heap.top().at >= new_end) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    double bound;
+    if (!adaptive_) {
+      // Static windows: every shard gets the same end. The merge clamp makes
+      // global_min non-decreasing across windows, so the max() below is
+      // provably a no-op — kept as a defensive invariant: a window end must
+      // never move backwards once shard clocks have entered a window.
+      bound = global_min + lookahead_;
+    } else {
+      // Adaptive windows: shard i is bounded only by events the *other*
+      // shards could send it. Shard j dispatches nothing before tops[j], so
+      // every cross-shard event it creates this window carries a timestamp
+      // >= tops[j] + lookahead. All tops are >= global_min, hence the bound
+      // never drops below the static floor; +inf (every other shard empty)
+      // lets shard i drain its whole heap — the others stay parked at the
+      // barrier and cannot feed it until the next merge.
+      bound = kInf;
+      for (std::size_t j = 0; j < shards_.size(); ++j) {
+        if (j != i && tops[j] + lookahead_ < bound) {
+          bound = tops[j] + lookahead_;
+        }
+      }
+    }
+    const double new_end =
+        std::max(shard.window_end.load(std::memory_order_relaxed), bound);
+    shard.window_end.store(new_end, std::memory_order_relaxed);
+    if (shard.heap.empty() || shard.heap.top().at >= new_end) {
       ++window_stalls_;
     }
   }
@@ -1216,9 +1259,12 @@ void Engine::shard_worker_threads(Shard& shard,
 }
 
 void Engine::run_sharded(const std::function<void(int)>& body) {
-  window_end_.store(lookahead_, std::memory_order_relaxed);
+  // The initial window is the static one in both lookahead modes: every
+  // shard's heap holds its participants' t=0 wakes, so the adaptive
+  // derivation would yield exactly `0 + lookahead` anyway.
   windows_ = 1;
   for (auto& shard : shards_) {
+    shard->window_end.store(lookahead_, std::memory_order_relaxed);
     for (int p = shard->first; p < shard->first + shard->count; ++p) {
       shard->heap.push(Event{0.0, shard->next_seq++, p, kNoSlot});
     }

@@ -61,9 +61,22 @@
 /// destination heap. `shards=1` runs the exact single-shard code path and is
 /// bit-identical to the pre-sharding engine; any fixed shard count is
 /// deterministic across repeats and across backends. Sharding requires a
-/// positive lookahead; configurations without one (zero-latency networks,
-/// the reliable-delivery protocol, obs span capture) automatically fall back
-/// to one shard.
+/// positive lookahead; configurations without one (zero-latency networks)
+/// automatically fall back to one shard. The reliable-delivery protocol and
+/// obs span capture both run sharded (DESIGN.md §4.12).
+///
+/// Window ends are per shard. With EngineOptions::adaptive_lookahead (the
+/// default; CAF2_SIM_ADAPTIVE_LOOKAHEAD=0 forces it off) a shard's window
+/// end is derived from the *other* shards' earliest pending events:
+/// `W_i = max(W_i, min_{j != i}(top_j + lookahead))`, where `top_j` is shard
+/// j's earliest pending event time at the barrier (+inf for an empty heap).
+/// Any cross-shard event shard j creates this window carries a timestamp
+/// `>= top_j + lookahead >= W_i`, so the window is conservative; because
+/// every `top_j >= global_min`, the adaptive end is never below the static
+/// `global_min + lookahead` floor. Sparse-communication phases therefore get
+/// long windows (fewer barriers, fewer `window_stalls`). Adaptive and static
+/// windows admit different cross-shard wake clamp points, so the two modes
+/// produce different (each individually deterministic) virtual schedules.
 ///
 /// If the heap drains while unfinished participants are blocked, the
 /// simulated program has provably deadlocked; the engine collects a
@@ -120,6 +133,12 @@ ExecBackend resolve_backend(ExecBackend configured);
 /// `configured >= 1` wins; `configured <= 0` reads CAF2_SIM_SHARDS and
 /// defaults to 1. Exposed for bench metadata stamps.
 int resolve_shards(int configured);
+
+/// Whether a sharded engine uses adaptive lookahead windows: the environment
+/// variable CAF2_SIM_ADAPTIVE_LOOKAHEAD ("0"/"off" forces static, "1"/"on"
+/// forces adaptive) overrides \p configured. Exposed for bench metadata
+/// stamps; meaningless for unsharded runs.
+bool resolve_adaptive_lookahead(bool configured);
 
 /// Everything that makes the calling context "participant N of engine E".
 /// With the thread backend each participant thread simply owns one of these
@@ -184,6 +203,12 @@ struct EngineOptions {
   /// another. The runtime derives it from the network's minimum link
   /// latency. <= 0 disables sharding (automatic fallback to shards = 1).
   double lookahead_us = 0.0;
+
+  /// Derive each shard's window end from the other shards' earliest pending
+  /// events at the barrier instead of the global static minimum (see the
+  /// file comment). Static lookahead remains the floor; the environment
+  /// variable CAF2_SIM_ADAPTIVE_LOOKAHEAD={0,off,1,on} overrides this.
+  bool adaptive_lookahead = true;
 };
 
 class Engine {
@@ -366,6 +391,10 @@ class Engine {
   /// Conservative lookahead window (0 when unsharded).
   double lookahead_us() const { return lookahead_; }
 
+  /// True when this (sharded) engine derives window ends adaptively from
+  /// per-shard lower bounds; false for static windows and unsharded runs.
+  bool adaptive_lookahead() const { return adaptive_; }
+
   /// Window advances performed so far (1 for the initial window; always 0
   /// for an unsharded run, which has no windows).
   std::uint64_t window_count() const;
@@ -381,9 +410,11 @@ class Engine {
   /// Attach an observability recorder (nullptr detaches; see obs/obs.hpp).
   /// Hooks fire from advance() and block(); a null observer costs one branch.
   /// Recording never schedules events, so an observed run's event schedule,
-  /// trace, and stats are bit-identical to an unobserved one. Not supported
-  /// on sharded engines (the runtime falls back to shards=1 when obs span
-  /// capture is enabled).
+  /// trace, and stats are bit-identical to an unobserved one. Sharded
+  /// engines are supported when the recorder was built with one net lane per
+  /// shard (obs::Recorder's net_lanes constructor argument): the per-image
+  /// hooks only ever fire on the image's home shard, and network spans go to
+  /// the calling shard's lane (DESIGN.md §4.12).
   void set_observer(obs::Recorder* observer) { observer_ = observer; }
 
  private:
@@ -457,6 +488,11 @@ class Engine {
     std::atomic<double> now_us{0.0};
     std::atomic<std::uint64_t> dispatched{0};
     std::atomic<std::uint64_t> context_switches{0};
+    // This shard's conservative window end: events strictly below it may
+    // dispatch this window. Written only at the window barrier (every shard
+    // quiesced); read lock-free on the shard's own hot paths, so it is an
+    // atomic with relaxed ordering (publication rides the barrier handoff).
+    std::atomic<double> window_end{0.0};
     std::uint64_t next_seq = 0;
     int token_owner = -1;  ///< participant last handed the token
     Participant* activated = nullptr;  ///< dispatch_chain -> fiber scheduler
@@ -618,6 +654,7 @@ class Engine {
   EngineOptions options_;
   bool fastpath_ = true;
   bool sharded_ = false;
+  bool adaptive_ = false;  ///< resolved adaptive-lookahead mode (sharded only)
   double lookahead_ = 0.0;
   ExecBackend backend_ = ExecBackend::kThreads;  ///< resolved, never kAuto
   std::function<std::string()> diagnostics_;
@@ -638,7 +675,6 @@ class Engine {
   int sync_waiting_ = 0;
   std::uint64_t sync_generation_ = 0;
   bool sync_done_ = false;
-  std::atomic<double> window_end_{0.0};
   std::uint64_t windows_ = 0;
   std::uint64_t window_stalls_ = 0;
 

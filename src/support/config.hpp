@@ -277,11 +277,21 @@ struct RuntimeOptions {
   /// explicit value >= 1 always wins over the environment. shards=1 is
   /// bit-identical to the unsharded engine, and any fixed shard count is
   /// deterministic run to run. The runtime derives the conservative
-  /// lookahead from the network's wire latency and falls back to a single
-  /// shard whenever no positive lookahead exists (zero-latency networks),
-  /// the reliable-delivery protocol is active, or obs span capture is
-  /// enabled (the recorder is single-threaded).
+  /// lookahead from the network's wire latency; reliable delivery, fault
+  /// plans, and obs span capture all run sharded (per-shard protocol cells
+  /// and recorder net lanes, DESIGN.md §4.12). Only a zero-latency network
+  /// leaves no positive lookahead and falls back to a single shard.
   int shards = 0;
+
+  /// Let a sharded engine widen each shard's conservative window from the
+  /// other shards' next-event lower bounds at every barrier (DESIGN.md
+  /// §4.12) instead of pinning every window to the global minimum plus the
+  /// static lookahead. The static window remains the floor. Ignored on
+  /// serial engines; both modes are deterministic for a fixed shard count,
+  /// but they produce different (equally valid) virtual schedules. The
+  /// environment variable CAF2_SIM_ADAPTIVE_LOOKAHEAD={0,off,1,on}
+  /// overrides this.
+  bool adaptive_lookahead = true;
 
   /// Virtual-time watchdog quiet period (microseconds). When > 0 and every
   /// unfinished image is blocked while the next pending event is more than

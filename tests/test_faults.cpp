@@ -1,8 +1,9 @@
-/// Tests for the fault-injection + reliable-delivery layer (DESIGN.md §4.7):
-/// NetworkParams validation, scripted faults, dedup of duplicated deliveries,
-/// retransmission after loss, the retry-cap FatalError with its watchdog
-/// report, the quiet-period watchdog, structured deadlock reports, image-rank
-/// tagging of escaped exceptions, and the L+1 detection bound under loss.
+/// Tests for the fault-injection + reliable-delivery layer (DESIGN.md §4.7,
+/// §4.12): NetworkParams validation, scripted faults, dedup of duplicated
+/// deliveries, retransmission after loss (including across shard
+/// boundaries), the retry-cap FatalError with its watchdog report, the
+/// quiet-period watchdog, structured deadlock reports, image-rank tagging of
+/// escaped exceptions, and the L+1 detection bound under loss.
 
 #include <gtest/gtest.h>
 
@@ -514,6 +515,77 @@ TEST(FaultyRun, BlackHoleLinkProducesWatchdogReportThroughRuntime) {
     EXPECT_NE(what.find("reliable delivery failed"), std::string::npos)
         << what;
     EXPECT_NE(what.find("attempts"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultyRun, CrossShardScriptedDropRetransmitsAndCancelsTimer) {
+  // Two images on two shards: the dropped cross-shard delivery is
+  // retransmitted from its source shard, the (sender-simulated) ack of the
+  // retransmitted copy erases the flight, and the rearmed retransmit timer
+  // must then find it gone — exactly one retransmit, no retry-cap error,
+  // nothing left in flight.
+  RuntimeOptions options = faulty_options(2, 0.0);
+  options.shards = 2;
+  options.net.jitter_us = 0.0;
+  options.net.faults.scripted.push_back(
+      {.source = 0, .dest = 1, .nth = 1, .kind = FaultKind::kDrop});
+  const RunStats stats = run_stats(options, [] {
+    Team world = team_world();
+    Coarray<long> counter(world, 1);
+    counter[0] = 0;
+    team_barrier(world);
+    finish(world, [&] {
+      if (this_image() == 0) {
+        spawn<bump>(1, counter.ref());
+      }
+    });
+    const long total = allreduce<long>(world, counter[0], RedOp::kSum);
+    EXPECT_EQ(total, 1);
+    team_barrier(world);
+  });
+  EXPECT_EQ(stats.shards, 2);
+  EXPECT_EQ(stats.faults.deliveries_dropped, 1u);
+  EXPECT_EQ(stats.faults.retransmits, 1u);
+  EXPECT_EQ(stats.faults.scripted_applied, 1u);
+  EXPECT_EQ(stats.faults.duplicates_suppressed, 0u);
+}
+
+TEST(FaultyRun, ShardedLossyRunsAreDeterministicAcrossRepeats) {
+  // The full fault surface (drop, dup, ack loss, delay) under four shards:
+  // identical stats — including the per-shard fault cells — on every repeat.
+  RuntimeOptions options = faulty_options(8, 0.10);
+  options.shards = 4;
+  auto body = [] {
+    Team world = team_world();
+    Coarray<long> counter(world, 1);
+    counter[0] = 0;
+    team_barrier(world);
+    finish(world, [&] {
+      for (int target = 0; target < world.size(); ++target) {
+        spawn<bump>(target, counter.ref());
+      }
+    });
+    EXPECT_EQ(counter[0], world.size());
+    team_barrier(world);
+  };
+  const RunStats a = run_stats(options, body);
+  const RunStats b = run_stats(options, body);
+  EXPECT_EQ(a.shards, 4);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.virtual_us, b.virtual_us);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  ASSERT_EQ(a.shard_faults.size(), b.shard_faults.size());
+  for (std::size_t s = 0; s < a.shard_faults.size(); ++s) {
+    EXPECT_EQ(a.shard_faults[s].deliveries_dropped,
+              b.shard_faults[s].deliveries_dropped)
+        << "shard " << s;
+    EXPECT_EQ(a.shard_faults[s].retransmits, b.shard_faults[s].retransmits)
+        << "shard " << s;
+    EXPECT_EQ(a.shard_faults[s].duplicates_suppressed,
+              b.shard_faults[s].duplicates_suppressed)
+        << "shard " << s;
+    EXPECT_EQ(a.shard_faults[s].acks_dropped, b.shard_faults[s].acks_dropped)
+        << "shard " << s;
   }
 }
 

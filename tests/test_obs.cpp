@@ -35,8 +35,8 @@ RuntimeOptions obs_options(int images) {
   options.num_images = images;
   options.net = NetworkParams::gemini_like();
   options.obs.enabled = true;
-  // Obs span capture forces the engine to one shard; pin shards=1 so runs
-  // compared against obs-enabled ones stay schedule-identical even when
+  // Obs capture runs sharded too (tests/test_shards.cpp covers that); here we
+  // pin shards=1 so the serial-trace expectations below stay stable even when
   // CAF2_SIM_SHARDS is set in the environment (explicit beats env).
   options.shards = 1;
   return options;

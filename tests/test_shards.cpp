@@ -1,8 +1,9 @@
-/// Sharded parallel-DES engine (DESIGN.md §4.11) through the full runtime:
-/// shards=1 bit-identity with the serial engine, fixed-shard-count
+/// Sharded parallel-DES engine (DESIGN.md §4.11, §4.12) through the full
+/// runtime: shards=1 bit-identity with the serial engine, fixed-shard-count
 /// determinism across repeats and backends, cross-shard asynchronous
-/// constructs at paper scale, cross-shard deadlock postmortems, and the
-/// automatic fallbacks to the serial engine.
+/// constructs at paper scale, cross-shard deadlock postmortems, fault plans
+/// and obs span capture under sharding, adaptive lookahead windows, and the
+/// remaining zero-lookahead fallback to the serial engine.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +14,7 @@
 
 #include "core/caf2.hpp"
 #include "core/detectors.hpp"
+#include "obs/export.hpp"
 #include "obs/postmortem.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/runtime.hpp"
@@ -199,6 +201,42 @@ TEST(Shards, CrossShardConstructsAtPaperScale) {
   EXPECT_GT(stats.windows, 0u);
 }
 
+void count_chain(std::int32_t remaining, Coref<long> counter) {
+  counter.local()[0] += 1;
+  if (remaining > 0) {
+    const int next = (this_image() + 1) % num_images();
+    spawn<count_chain>(next, remaining - 1, counter);
+  }
+}
+
+TEST(Shards, FinishDetectionBoundHoldsAtPaperScaleSharded) {
+  // Paper Theorem 1 (at most L+1 reduction waves) at 4K images on four
+  // shards: the termination detector must stay within the bound when its
+  // reduction waves cross shard boundaries, not merely terminate.
+  if (!sim::fibers_supported()) {
+    GTEST_SKIP() << "4096 OS threads is too heavy without the fiber backend";
+  }
+  const int depth = 6;
+  RuntimeOptions options = shard_options(4096, 4, 53);
+  options.record_trace = false;  // 4K images: keep memory flat
+  const RunStats stats = run_stats(options, [depth] {
+    Team world = team_world();
+    Coarray<long> counter(world, 1);
+    counter[0] = 0;
+    team_barrier(world);
+    finish(world, [&] {
+      if (this_image() == 0) {
+        spawn<count_chain>(1, depth, counter.ref());
+      }
+    });
+    const long total = allreduce<long>(world, counter[0], RedOp::kSum);
+    EXPECT_EQ(total, depth + 1);
+    EXPECT_LE(last_finish_report().rounds, depth + 2);
+    team_barrier(world);
+  });
+  EXPECT_EQ(stats.shards, 4);
+}
+
 /// --- cross-shard failure handling -------------------------------------------
 
 std::string stalled_postmortem_text(const RuntimeOptions& options) {
@@ -234,26 +272,173 @@ TEST(Shards, CrossShardDeadlockProducesDeterministicPostmortem) {
   }
 }
 
-/// --- automatic fallbacks to the serial engine -------------------------------
+/// --- fault plans under sharding (DESIGN.md §4.12) ---------------------------
 
-TEST(Shards, FaultPlansFallBackToSerialWithIdenticalTraces) {
-  // Fault plans imply reliable delivery (retransmission), which requires the
-  // serial engine; a sharded request must quietly fall back and match the
-  // explicit shards=1 run bit for bit.
-  auto with_faults = [](int shards) {
-    RuntimeOptions options = shard_options(3, shards, 29);
-    options.net.faults.all.drop_probability = 0.2;
-    options.net.faults.all.delay_probability = 0.2;
-    options.net.faults.all.delay_max_us = 10.0;
-    return options;
-  };
-  const Fingerprint sharded = fingerprint_run(with_faults(4), mixed_workload);
-  const Fingerprint serial = fingerprint_run(with_faults(1), mixed_workload);
-  EXPECT_EQ(sharded.shards, 1);
-  EXPECT_EQ(sharded.trace, serial.trace);
-  EXPECT_EQ(sharded.events, serial.events);
-  EXPECT_EQ(sharded.end_us, serial.end_us);
+RuntimeOptions faulty_shard_options(int images, int shards,
+                                    std::uint64_t seed) {
+  RuntimeOptions options = shard_options(images, shards, seed);
+  options.net.faults.all.drop_probability = 0.1;
+  options.net.faults.all.dup_probability = 0.1;
+  options.net.faults.all.ack_drop_probability = 0.1;
+  options.net.faults.all.delay_probability = 0.1;
+  options.net.faults.all.delay_max_us = 10.0;
+  return options;
 }
+
+TEST(Shards, FaultPlansRunShardedAndDeterministically) {
+  // Reliable delivery (retransmission, dedup, ack loss) runs under the
+  // sharded engine with per-shard protocol cells: the run must keep
+  // RunStats.shards > 1 and stay bit-identical across repeats.
+  const RuntimeOptions options = faulty_shard_options(8, 4, 29);
+  const Fingerprint a = fingerprint_run(options, mixed_workload);
+  const Fingerprint b = fingerprint_run(options, mixed_workload);
+  EXPECT_EQ(a.shards, 4);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_us, b.end_us);
+  EXPECT_EQ(a.shard_events, b.shard_events);
+
+  const RunStats stats = run_stats(options, mixed_workload);
+  EXPECT_EQ(stats.shards, 4);
+  // The plan fired across the whole fault surface.
+  EXPECT_GT(stats.faults.deliveries_dropped, 0u);
+  EXPECT_GT(stats.faults.retransmits, 0u);
+  // Per-shard counters partition the totals.
+  ASSERT_EQ(stats.shard_faults.size(), 4u);
+  FaultStats summed;
+  for (const FaultStats& cell : stats.shard_faults) {
+    summed.deliveries_dropped += cell.deliveries_dropped;
+    summed.deliveries_duplicated += cell.deliveries_duplicated;
+    summed.deliveries_delayed += cell.deliveries_delayed;
+    summed.acks_dropped += cell.acks_dropped;
+    summed.retransmits += cell.retransmits;
+    summed.duplicates_suppressed += cell.duplicates_suppressed;
+    summed.scripted_applied += cell.scripted_applied;
+  }
+  EXPECT_EQ(summed.deliveries_dropped, stats.faults.deliveries_dropped);
+  EXPECT_EQ(summed.retransmits, stats.faults.retransmits);
+  EXPECT_EQ(summed.duplicates_suppressed, stats.faults.duplicates_suppressed);
+  EXPECT_EQ(summed.acks_dropped, stats.faults.acks_dropped);
+}
+
+TEST(Shards, FaultyShardedRunsAgreeAcrossBackends) {
+  if (!sim::fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build";
+  }
+  RuntimeOptions threads = faulty_shard_options(8, 4, 31);
+  threads.sim_backend = ExecBackend::kThreads;
+  RuntimeOptions fibers = faulty_shard_options(8, 4, 31);
+  fibers.sim_backend = ExecBackend::kFibers;
+  const Fingerprint a = fingerprint_run(threads, mixed_workload);
+  const Fingerprint b = fingerprint_run(fibers, mixed_workload);
+  EXPECT_EQ(a.shards, 4);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_us, b.end_us);
+  EXPECT_EQ(a.shard_events, b.shard_events);
+}
+
+/// --- obs span capture under sharding (DESIGN.md §4.12) ----------------------
+
+RuntimeOptions obs_shard_options(int images, int shards, std::uint64_t seed) {
+  RuntimeOptions options = shard_options(images, shards, seed);
+  options.record_trace = false;  // the capture text is the fingerprint here
+  options.obs.enabled = true;
+  return options;
+}
+
+TEST(Shards, ObsCaptureRunsShardedAndIsByteIdentical) {
+  // Span capture no longer forces the engine serial: each shard records into
+  // its own recorder lane and the merged capture must be byte-identical
+  // across repeats (composite span ids + the deterministic merge order).
+  const RuntimeOptions options = obs_shard_options(8, 4, 37);
+  const RunStats a = run_stats(options, mixed_workload);
+  const RunStats b = run_stats(options, mixed_workload);
+  EXPECT_EQ(a.shards, 4);
+  ASSERT_NE(a.obs, nullptr);
+  ASSERT_NE(b.obs, nullptr);
+  EXPECT_EQ(obs::to_text(*a.obs), obs::to_text(*b.obs));
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.virtual_us, b.virtual_us);
+}
+
+TEST(Shards, ObsCaptureDoesNotPerturbShardedSchedules) {
+  // The obs-on/obs-off schedule-identity guarantee must survive sharding:
+  // recording only ever appends to per-shard buffers.
+  RuntimeOptions off = shard_options(8, 4, 39);
+  RuntimeOptions on = shard_options(8, 4, 39);
+  on.obs.enabled = true;
+  const Fingerprint a = fingerprint_run(off, mixed_workload);
+  const Fingerprint b = fingerprint_run(on, mixed_workload);
+  EXPECT_EQ(a.shards, 4);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_us, b.end_us);
+}
+
+TEST(Shards, ShardedObsCapturesAgreeAcrossBackends) {
+  if (!sim::fibers_supported()) {
+    GTEST_SKIP() << "fiber backend unavailable in this build";
+  }
+  if (std::getenv("CAF2_SIM_BACKEND") != nullptr) {
+    GTEST_SKIP() << "CAF2_SIM_BACKEND pins the backend for this run";
+  }
+  RuntimeOptions threads = obs_shard_options(8, 4, 41);
+  threads.sim_backend = ExecBackend::kThreads;
+  RuntimeOptions fibers = obs_shard_options(8, 4, 41);
+  fibers.sim_backend = ExecBackend::kFibers;
+  const RunStats a = run_stats(threads, mixed_workload);
+  const RunStats b = run_stats(fibers, mixed_workload);
+  ASSERT_NE(a.obs, nullptr);
+  ASSERT_NE(b.obs, nullptr);
+  // to_text prints the backend line from the capture itself; compare the
+  // tracks through the blame analyzer (backend-independent) and the span
+  // payloads via chrome-trace export.
+  EXPECT_EQ(obs::to_chrome_trace(*a.obs), obs::to_chrome_trace(*b.obs));
+}
+
+/// --- adaptive lookahead windows (DESIGN.md §4.12) ---------------------------
+
+TEST(Shards, AdaptiveLookaheadIsDefaultDeterministicAndReported) {
+  const RuntimeOptions options = shard_options(8, 4, 43);
+  const Fingerprint a = fingerprint_run(options, mixed_workload);
+  const Fingerprint b = fingerprint_run(options, mixed_workload);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_us, b.end_us);
+  const RunStats stats = run_stats(options, mixed_workload);
+  EXPECT_EQ(stats.lookahead_mode, "adaptive");
+  const RunStats serial = run_stats(shard_options(8, 1, 43), mixed_workload);
+  EXPECT_EQ(serial.lookahead_mode, "serial");
+}
+
+TEST(Shards, StaticLookaheadStillAvailableAndDeterministic) {
+  RuntimeOptions options = shard_options(8, 4, 47);
+  options.adaptive_lookahead = false;
+  const Fingerprint a = fingerprint_run(options, mixed_workload);
+  const Fingerprint b = fingerprint_run(options, mixed_workload);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_us, b.end_us);
+  const RunStats stats = run_stats(options, mixed_workload);
+  EXPECT_EQ(stats.shards, 4);
+  EXPECT_EQ(stats.lookahead_mode, "static");
+}
+
+TEST(Shards, AdaptiveLookaheadEnvOverrideWins) {
+  char* prior = std::getenv("CAF2_SIM_ADAPTIVE_LOOKAHEAD");
+  const std::string saved = prior != nullptr ? prior : "";
+  ::setenv("CAF2_SIM_ADAPTIVE_LOOKAHEAD", "0", 1);
+  const RunStats stats = run_stats(shard_options(8, 4, 49), mixed_workload);
+  EXPECT_EQ(stats.lookahead_mode, "static");
+  if (prior != nullptr) {
+    ::setenv("CAF2_SIM_ADAPTIVE_LOOKAHEAD", saved.c_str(), 1);
+  } else {
+    ::unsetenv("CAF2_SIM_ADAPTIVE_LOOKAHEAD");
+  }
+}
+
+/// --- the remaining fallback to the serial engine ----------------------------
 
 TEST(Shards, InstantNetworkFallsBackToSerial) {
   // Zero wire latency gives the conservative engine no lookahead window to
