@@ -15,14 +15,17 @@
 /// across commits. Use CAF2_SIM_NO_FASTPATH=1 to compare against the
 /// slow-path scheduler.
 ///
-/// The sharded/* section measures the parallel-DES engine (DESIGN.md §4.11):
-/// one paper-scale ring workload swept over shard counts 1..hardware
-/// threads, and — at each shard count above 1 — under both static and
-/// adaptive conservative windows (DESIGN.md §4.12). Those points own all
-/// cores, so they run serially *after* the pooled sweep; events/sec across
-/// the shard axis is the engine's strong-scaling curve (expect monotone
-/// growth while shards <= physical cores, and fewer window_stalls with
-/// adaptive windows).
+/// The sharded/* and staggered/* sections measure the parallel-DES engine
+/// (DESIGN.md §4.11): a paper-scale ring workload plus a stagger-phased
+/// variant, swept over shard counts 1..hardware threads and — at each shard
+/// count above 1 — under both static and adaptive conservative windows
+/// (DESIGN.md §4.12). Those points own all cores, so they run serially
+/// *after* the pooled sweep; events/sec across the shard axis is the
+/// engine's strong-scaling curve (expect monotone growth while shards <=
+/// physical cores). The staggered points carry the adaptive-vs-static
+/// window_stalls and barrier-count deltas — the dense ring ties the two
+/// modes by design (every adaptive window clamps at its first in-flight
+/// send), the sparse staggered phases are where adaptive windows pay.
 
 #include <algorithm>
 #include <span>
@@ -207,6 +210,31 @@ void ring_workload(int rounds) {
   team_barrier(world);
 }
 
+/// Staggered compute/exchange workload for the lookahead comparison: each
+/// image computes at a rank-proportional virtual offset before its ring
+/// exchange, so heap events spread densely over the stagger span while
+/// almost all near-term traffic stays shard-local — the sparse-communication
+/// regime adaptive windows exist for (DESIGN.md §4.12). Static lookahead
+/// must cross the span in wire-latency steps; adaptive windows reach out to
+/// the other shards' far-off heap tops and cross it in a few barriers.
+void staggered_workload(int rounds) {
+  Team world = team_world();
+  Coarray<long> slot(world, 8);
+  team_barrier(world);
+  const std::vector<long> payload(8, 1);
+  const double offset = 240.0 * static_cast<double>(world.rank()) /
+                        static_cast<double>(world.size());
+  finish(world, [&] {
+    for (int r = 0; r < rounds; ++r) {
+      compute(offset);
+      copy_async(slot((world.rank() + 1) % world.size()),
+                 std::span<const long>(payload));
+      cofence();
+    }
+  });
+  team_barrier(world);
+}
+
 /// Shard counts to sweep: powers of two from 1 up to the hardware thread
 /// count (always at least {1, 2, 4} so the scaling curve exists even on
 /// small CI runners).
@@ -257,6 +285,30 @@ std::vector<SweepPoint> build_sharded_sweep(const BenchArgs& args) {
                            }
                            return record;
                          }});
+      }
+      // The staggered points carry the adaptive-vs-static window_stalls and
+      // events/sec deltas: the dense ring above clamps every adaptive window
+      // at its first in-flight send (DESIGN.md §4.12), so the two modes tie
+      // there by design; the payoff shows where communication is sparse.
+      if (shards > 1) {
+        for (int mode = 0; mode < 2; ++mode) {
+          const bool adaptive = mode == 1;
+          const std::string name =
+              "staggered/images=" + std::to_string(images) +
+              "/shards=" + std::to_string(shards) +
+              (adaptive ? "/adaptive" : "/static");
+          sweep.push_back({name, [images, shards, adaptive] {
+                             RuntimeOptions options =
+                                 bench::bench_options(images, shards);
+                             options.adaptive_lookahead = adaptive;
+                             BenchRecord record = bench::measure_run(
+                                 options, [] { staggered_workload(4); });
+                             record.metrics.emplace_back("images", images);
+                             record.metrics.emplace_back(
+                                 "adaptive", adaptive ? 1.0 : 0.0);
+                             return record;
+                           }});
+        }
       }
     }
   }

@@ -38,7 +38,11 @@ Network::Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed)
     }
   }
   // One protocol cell per shard (one total for serial engines); flight ids
-  // carry the owning cell in their top 16 bits.
+  // carry the owning cell in their top 16 bits, so a shard count past 2^16
+  // would make rel_shard_of() route acks and retransmit timers to the wrong
+  // cell.
+  CAF2_REQUIRE(engine.shard_count() <= (1 << 16),
+               "Network: shard count exceeds the flight-id shard field");
   rel_shards_.resize(
       engine.sharded() ? static_cast<std::size_t>(engine.shard_count()) : 1);
   if (reliable_) {
@@ -441,6 +445,8 @@ std::uint64_t Network::admit_flight(Message message, SendCallbacks callbacks,
   account_send(message);
   LinkState& sender = link(message.header.source, message.header.dest);
   ReliableShard& cell = rel_shard();
+  CAF2_ASSERT(cell.next_flight_id < (std::uint64_t{1} << 48),
+              "admit_flight: per-shard flight-id counter overflow");
   const std::uint64_t id =
       (static_cast<std::uint64_t>(calling_shard_index()) << 48) |
       cell.next_flight_id++;
@@ -602,10 +608,15 @@ void Network::start_attempt(std::uint64_t id) {
       if (faults.ack_drop) {
         // Charged at roll time on the sender's ring (the receiver can't
         // touch source-shard counters); totals match the legacy protocol
-        // because every launched non-dropped delivery lands.
+        // because every launched non-dropped delivery lands. The entry is
+        // stamped `deliver_at` — the time the same-shard path records the
+        // drop from inside deliver_attempt — so time-windowed postmortem
+        // analysis sees one timeline regardless of path; recording may not
+        // schedule events (flight_recorder.hpp), so the ring's insertion
+        // order can run locally ahead of this future stamp.
         cell.stats.acks_dropped += 1;
         if (flight_recorder_ != nullptr) {
-          flight_recorder_->record(header.source, engine_.now(),
+          flight_recorder_->record(header.source, deliver_at,
                                    obs::FrKind::kFaultAckLoss, header.dest,
                                    flight.seq, 0);
         }
@@ -626,7 +637,7 @@ void Network::start_attempt(std::uint64_t id) {
       if (faults.dup_ack_drop) {
         cell.stats.acks_dropped += 1;
         if (flight_recorder_ != nullptr) {
-          flight_recorder_->record(header.source, engine_.now(),
+          flight_recorder_->record(header.source, dup_at,
                                    obs::FrKind::kFaultAckLoss, header.dest,
                                    flight.seq, 0);
         }

@@ -35,6 +35,11 @@ namespace caf2::obs {
 ///   kRetransmit      peer=dest    a=link seq      b=attempt number
 ///   kFaultDrop/kFaultDuplicate/kFaultDelay/kFaultAckLoss
 ///                    peer=dest    a=link seq      b=0
+///                    (kFaultAckLoss is stamped with the delivery time on
+///                    every path; the cross-shard reliable path records it
+///                    eagerly at send time — recording must not schedule
+///                    events — so its ring insertion order can run locally
+///                    ahead of the stamp)
 ///   kWaitBegin/kWaitEnd
 ///                    peer=resource owner          a,b=resource payload
 ///   kHandler         peer=source  a=handler id    b=0

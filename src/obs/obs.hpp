@@ -282,9 +282,17 @@ class Recorder {
 
   /// Composite span id of the next span on track \p ordinal (image rank for
   /// image tracks, images + lane for network lanes): nonzero, unique across
-  /// tracks, and assigned without cross-shard coordination.
+  /// tracks, and assigned without cross-shard coordination. Uniqueness is
+  /// what the deterministic (begin, end, image, peer, id) lane merge and
+  /// note_cause links rely on, so guard both packed fields: a local counter
+  /// spilling past 2^40 (or a track ordinal past 2^24) would silently bleed
+  /// into the neighboring bits.
   static std::uint64_t compose_id(std::uint64_t ordinal,
                                   std::uint64_t& next_local) {
+    CAF2_ASSERT(ordinal + 1 < (std::uint64_t{1} << 24),
+                "compose_id: track ordinal exceeds the 24-bit field");
+    CAF2_ASSERT(next_local < (std::uint64_t{1} << 40) - 1,
+                "compose_id: per-track span counter overflow");
     return ((ordinal + 1) << 40) | ++next_local;
   }
 

@@ -805,6 +805,21 @@ void Engine::cross_post(int dest_shard, double at,
                         std::int32_t wake_participant, InlineFn fn) {
   Shard& src = *shards_[static_cast<std::size_t>(tls_shard.index)];
   Shard& dst = *shards_[static_cast<std::size_t>(dest_shard)];
+  if (adaptive_) {
+    // In-flight horizon clamp (DESIGN.md §4.12). The barrier bound only
+    // covers reaction chains rooted in events already materialized in some
+    // heap; the chain rooted at *this* staging is not, and its earliest
+    // possible return is `at + lookahead` (the destination may dispatch the
+    // event as early as `at`, and anything it creates for us rides at least
+    // one wire latency). The sender therefore caps its own window here —
+    // dispatches so far are at or below the current clock, which is below
+    // the horizon, so the cap never retracts executed time. Same-context
+    // writer as the dispatch loop reading it; the gate publishes the store.
+    const double horizon = at + lookahead_;
+    if (horizon < src.window_end.load(std::memory_order_relaxed)) {
+      src.window_end.store(horizon, std::memory_order_relaxed);
+    }
+  }
   CrossEvent ev;
   ev.at = at;
   // Only the source shard's current token holder (or its dispatcher) stages
@@ -817,14 +832,14 @@ void Engine::cross_post(int dest_shard, double at,
   dst.inbox.push_back(std::move(ev));
 }
 
-void Engine::drain_inbox_locked(Shard& shard) {
+bool Engine::drain_inbox_locked(Shard& shard, std::string& violation) {
   std::vector<CrossEvent> batch;
   {
     std::lock_guard<std::mutex> guard(shard.inbox_mutex);
     batch.swap(shard.inbox);
   }
   if (batch.empty()) {
-    return;
+    return true;
   }
   // (time, source shard, per-source counter) is a total order — the counter
   // is unique within a source — so the merged sequence is identical for any
@@ -841,11 +856,24 @@ void Engine::drain_inbox_locked(Shard& shard) {
               return a.order < b.order;
             });
   const double local_now = shard.now_us.load(std::memory_order_relaxed);
+  bool ok = true;
   for (auto& ev : batch) {
     // Clamping wakes to the destination clock keeps every heap entry at or
     // above the clock, which is what makes the global minimum — and with it
     // the window end — monotone (DESIGN.md §4.11). Calls are provably
-    // already in the destination's future; the clamp is a no-op for them.
+    // already in the destination's future — the barrier bound covers chains
+    // rooted in other shards' heaps and the staging-time horizon clamp
+    // covers chains this shard's own sends set off (§4.12) — so the clamp
+    // is a no-op for them; verify that instead of silently time-shifting a
+    // straggler, which would corrupt latency metrics undetectably.
+    if (ev.wake_participant < 0 && ev.at < local_now - 1e-9 && ok) {
+      std::ostringstream os;
+      os << "conservative window violation: cross-shard call from shard "
+         << ev.source_shard << " at t=" << ev.at << " us merged into shard "
+         << shard.index << "'s past (clock " << local_now << " us)";
+      violation = os.str();
+      ok = false;
+    }
     const double when = std::max(ev.at, local_now);
     if (ev.wake_participant >= 0) {
       shard.heap.push(
@@ -855,6 +883,7 @@ void Engine::drain_inbox_locked(Shard& shard) {
       shard.heap.push(Event{when, shard.next_seq++, -1, slot});
     }
   }
+  return ok;
 }
 
 bool Engine::window_rendezvous() {
@@ -894,8 +923,13 @@ bool Engine::advance_window_locked() {
     return false;
   }
 
+  std::string violation;
   for (auto& shard : shards_) {
-    drain_inbox_locked(*shard);
+    if (!drain_inbox_locked(*shard, violation)) {
+      fail_pending(obs::FailKind::kExplicitFail, violation, nullptr, false);
+      finish_failure_locked();
+      return false;
+    }
   }
 
   // Per-shard lower bounds: the earliest pending event of each shard after
@@ -953,13 +987,18 @@ bool Engine::advance_window_locked() {
       // never move backwards once shard clocks have entered a window.
       bound = global_min + lookahead_;
     } else {
-      // Adaptive windows: shard i is bounded only by events the *other*
-      // shards could send it. Shard j dispatches nothing before tops[j], so
-      // every cross-shard event it creates this window carries a timestamp
-      // >= tops[j] + lookahead. All tops are >= global_min, hence the bound
-      // never drops below the static floor; +inf (every other shard empty)
-      // lets shard i drain its whole heap — the others stay parked at the
-      // barrier and cannot feed it until the next merge.
+      // Adaptive windows: shard i is bounded by the earliest event any
+      // *materialized* chain could deliver to it. A chain rooted in shard
+      // j's heap reaches i no earlier than tops[j] + lookahead (>= 1 hop,
+      // and j dispatches nothing before tops[j]); chains rooted in events
+      // shard i itself sends *during* the window are invisible to this
+      // bound — they are capped at staging time by cross_post's horizon
+      // clamp (at + lookahead), which also knocks the stored window end
+      // down so the max() below cannot resurrect a stale value the clamp
+      // retired. All tops are >= global_min, hence the bound never drops
+      // below the static floor; +inf (every other shard empty) lets shard
+      // i drain its whole heap — empty peers root no chains, and any chain
+      // i starts by messaging them re-enters through the clamp.
       bound = kInf;
       for (std::size_t j = 0; j < shards_.size(); ++j) {
         if (j != i && tops[j] + lookahead_ < bound) {

@@ -67,16 +67,26 @@
 ///
 /// Window ends are per shard. With EngineOptions::adaptive_lookahead (the
 /// default; CAF2_SIM_ADAPTIVE_LOOKAHEAD=0 forces it off) a shard's window
-/// end is derived from the *other* shards' earliest pending events:
-/// `W_i = max(W_i, min_{j != i}(top_j + lookahead))`, where `top_j` is shard
-/// j's earliest pending event time at the barrier (+inf for an empty heap).
-/// Any cross-shard event shard j creates this window carries a timestamp
-/// `>= top_j + lookahead >= W_i`, so the window is conservative; because
-/// every `top_j >= global_min`, the adaptive end is never below the static
-/// `global_min + lookahead` floor. Sparse-communication phases therefore get
-/// long windows (fewer barriers, fewer `window_stalls`). Adaptive and static
-/// windows admit different cross-shard wake clamp points, so the two modes
-/// produce different (each individually deterministic) virtual schedules.
+/// end has two components. At each barrier it is raised to the other shards'
+/// earliest pending events: `W_i = max(W_i, min_{j != i}(top_j +
+/// lookahead))`, where `top_j` is shard j's earliest pending event time
+/// after the inbox merge (+inf for an empty heap) — sound for every reaction
+/// chain rooted in an event some heap already holds, since such a chain
+/// reaches shard i through at least one wire hop after its root dispatches.
+/// Chains rooted in events shard i *itself* sends during the window are not
+/// visible to any heap top, so cross-shard staging clamps the sender's own
+/// window to the staged timestamp plus one lookahead (`W_i = min(W_i, at +
+/// lookahead)`): the destination can dispatch the staged event no earlier
+/// than `at`, and anything it sends back rides at least one more latency.
+/// The clamp overwrites the stored end, so a later barrier max() restarts
+/// from the fresh bound (which by then sees the chain's materialized
+/// events), never from a retired stale value. Because every `top_j >=
+/// global_min` and a sender's clock is at least its own top, the adaptive
+/// end never drops below the static `global_min + lookahead` floor.
+/// Sparse-communication phases therefore get long windows (fewer barriers,
+/// fewer `window_stalls`). Adaptive and static windows admit different
+/// cross-shard wake clamp points, so the two modes produce different (each
+/// individually deterministic) virtual schedules.
 ///
 /// If the heap drains while unfinished participants are blocked, the
 /// simulated program has provably deadlocked; the engine collects a
@@ -550,8 +560,12 @@ class Engine {
   bool advance_window_locked();
 
   /// Merge a shard's inbox into its heap (deterministic order, fresh local
-  /// sequence numbers).
-  void drain_inbox_locked(Shard& shard);
+  /// sequence numbers). Returns false — filling \p violation — when a call
+  /// event arrived below the destination clock: a conservative-window
+  /// violation the caller must turn into an engine failure, because the
+  /// wake clamp would otherwise silently time-shift the delivery and
+  /// corrupt every latency-derived metric downstream.
+  bool drain_inbox_locked(Shard& shard, std::string& violation);
 
   /// Build the failure postmortem at the window barrier and release every
   /// participant to unwind (shutdown_ready_).

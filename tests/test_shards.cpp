@@ -425,6 +425,63 @@ TEST(Shards, StaticLookaheadStillAvailableAndDeterministic) {
   EXPECT_EQ(stats.lookahead_mode, "static");
 }
 
+/// Ping-pong reaction chain rooted in a window-interior send. Images 0,1
+/// land on shard 0 and images 2,3 on shard 1 (contiguous partition). Image
+/// 3's long compute parks shard 1's earliest materialized event at t=2000,
+/// so the barrier bound alone would grant shard 0 a window ending near
+/// 2004 — far past the ~20 us round trip of the ping image 0 launches at
+/// t=10. Without the staging-time horizon clamp, shard 0 burns through its
+/// 1000 unit computes inside that stale window and the pong merges into its
+/// past (now a detected conservative-window violation); with the clamp,
+/// shard 0 stops at ping + lookahead and the pong lands in its future.
+void reaction_chain_workload() {
+  Team world = team_world();
+  CoEvent ev(world);
+  switch (world.rank()) {
+    case 0:
+      compute(10.0);
+      notify_event(ev(2));
+      for (int i = 0; i < 1000; ++i) {
+        compute(1.0);
+      }
+      ev.local().wait();
+      break;
+    case 2:
+      ev.local().wait();
+      notify_event(ev(0));
+      break;
+    case 3:
+      compute(2000.0);
+      break;
+    default:
+      break;
+  }
+}
+
+TEST(Shards, AdaptiveWindowsStayConservativeForReactionChains) {
+  const RuntimeOptions options = shard_options(4, 2, 61);
+  const Fingerprint a = fingerprint_run(options, reaction_chain_workload);
+  const Fingerprint b = fingerprint_run(options, reaction_chain_workload);
+  EXPECT_EQ(a.shards, 2);
+  EXPECT_GT(a.windows, 0u);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_us, b.end_us);
+  const RunStats stats = run_stats(options, reaction_chain_workload);
+  EXPECT_EQ(stats.lookahead_mode, "adaptive");
+
+  // The pong is the only message delivered to image 0; its recorded latency
+  // proves the delivery was not time-shifted to image 0's t=1010 wait (the
+  // stale-window symptom was a ~990 us "latency" on a ~6 us wire hop).
+  const RunStats observed =
+      run_stats(obs_shard_options(4, 2, 61), reaction_chain_workload);
+  ASSERT_NE(observed.obs, nullptr);
+  const obs::Histogram& latency =
+      observed.obs->metrics[0].hist(obs::Hist::kMessageLatency);
+  ASSERT_GT(latency.count, 0u);
+  EXPECT_LT(latency.sum_us / static_cast<double>(latency.count), 50.0);
+}
+
 TEST(Shards, AdaptiveLookaheadEnvOverrideWins) {
   char* prior = std::getenv("CAF2_SIM_ADAPTIVE_LOOKAHEAD");
   const std::string saved = prior != nullptr ? prior : "";
