@@ -1,6 +1,9 @@
 #include "core/caf2.hpp"
 
+#include <cstdlib>
+
 #include "core/detectors.hpp"
+#include "ops/coll_algo.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/runtime.hpp"
 #include "support/sysinfo.hpp"
@@ -13,6 +16,16 @@ void run(const RuntimeOptions& options, const std::function<void()>& body) {
 
 RunStats run_stats(const RuntimeOptions& options,
                    const std::function<void()>& body) {
+  // Collective selection table (DESIGN.md §4.13): the environment variable
+  // overrides the option, matching the other CAF2_* knobs. Loading happens
+  // before any image starts, so resolution inside the run sees one
+  // immutable table.
+  if (const char* env = std::getenv("CAF2_COLL_TABLE");
+      env != nullptr && *env != '\0') {
+    ops::load_selection_table_file(env);
+  } else if (!options.coll_selection_table.empty()) {
+    ops::load_selection_table_file(options.coll_selection_table);
+  }
   rt::Runtime runtime(options);
   rt::install_event_handlers(runtime);
   ops::install_copy_handlers(runtime);

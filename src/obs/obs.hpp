@@ -142,6 +142,14 @@ enum class Hist : std::uint8_t {
 
 const char* to_string(Hist hist);
 
+/// Intern \p text into a process-global pool and return a pointer with
+/// static lifetime. Span::label is a raw `const char*` that must outlive
+/// every capture; operations whose label is composed at runtime (e.g. a
+/// collective's "kind/algorithm" identity) intern it once here. The pool is
+/// never freed and insertion is mutex-guarded; repeated calls with equal
+/// text return the same pointer.
+const char* intern_label(const std::string& text);
+
 /// Counters + histograms of one image.
 struct Metrics {
   std::array<std::uint64_t, static_cast<std::size_t>(Counter::kCount)>

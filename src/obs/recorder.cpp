@@ -2,9 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <set>
+#include <string>
 #include <utility>
 
 namespace caf2::obs {
+
+const char* intern_label(const std::string& text) {
+  // std::set is node-based, so element addresses are stable across later
+  // insertions; the pool is process-global and intentionally never freed.
+  static std::mutex mutex;
+  static std::set<std::string>* pool = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(mutex);
+  return pool->insert(text).first->c_str();
+}
 
 const char* to_string(SpanKind kind) {
   switch (kind) {

@@ -1,0 +1,244 @@
+#include <bit>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "ops/coll_detail.hpp"
+#include "runtime/runtime.hpp"
+#include "support/error.hpp"
+
+/// \file coll_algo_rd.cpp
+/// Recursive-doubling schedules (DESIGN.md §4.13): log2(p) pairwise
+/// exchange rounds. The allreduce handles any team size with the classic
+/// fold: with pow = bit_floor(p) and rem = p - pow, the first 2*rem ranks
+/// pre-fold in pairs (odd -> even) so exactly pow ranks run the exchange
+/// rounds, then the folded-out ranks receive the final result. The
+/// allgather variant requires a power-of-two team (resolve_algorithm clamps
+/// it to ring otherwise). Channels are non-FIFO, so incoming payloads are
+/// buffered by stage and pumped in round order.
+
+namespace caf2::ops::detail {
+
+namespace {
+
+using rt::CollStageMsg;
+using rt::Image;
+
+/// Recursive-doubling allreduce for arbitrary p.
+/// Stages: 0 = pre-fold (odd -> even among ranks < 2*rem); 1+k = exchange
+/// round k among the pow participants; 1+log2(pow) = result hand-back
+/// (even -> odd). Assumes a commutative reduction (every RedOp is); the
+/// per-rank association order differs from the tree schedules, so
+/// floating-point sums may differ in rounding across algorithms.
+class RdAllreduceImpl final : public CollImplBase {
+ public:
+  using CollImplBase::CollImplBase;
+
+  static constexpr int kStageFold = 0;
+
+ protected:
+  void begin(Image& image) override {
+    started_ = true;
+    const int p = team_size();
+    pow_ = static_cast<int>(std::bit_floor(static_cast<unsigned>(p)));
+    rem_ = p - pow_;
+    rounds_ = ceil_log2(pow_);
+    acc_.resize(desc().bytes);
+    std::memcpy(acc_.data(), desc().buf, desc().bytes);
+    const int r = team_rank();
+    if (r < 2 * rem_ && r % 2 == 1) {
+      // Folded out: contribute to the even partner, await the result.
+      send_stage(image, r - 1, kStageFold, acc_.data(), acc_.size());
+      mark_data_done(image);  // input captured
+      folded_out_ = true;
+    }
+    pump(image);
+  }
+
+  void handle(Image& image, CollStageMsg&& msg) override {
+    got_.resize(std::max(got_.size(),
+                         static_cast<std::size_t>(msg.stage) + 1));
+    has_.resize(std::max(has_.size(),
+                         static_cast<std::size_t>(msg.stage) + 1),
+                false);
+    got_[static_cast<std::size_t>(msg.stage)] = std::move(msg.data);
+    has_[static_cast<std::size_t>(msg.stage)] = true;
+    if (started_) {
+      pump(image);
+    }
+  }
+
+  bool role_done() const override { return started_ && done_; }
+
+ private:
+  int stage_result() const { return 1 + rounds_; }
+
+  bool have(int stage) const {
+    return static_cast<std::size_t>(stage) < has_.size() &&
+           has_[static_cast<std::size_t>(stage)];
+  }
+
+  void fold_in(int stage) {
+    auto& incoming = got_[static_cast<std::size_t>(stage)];
+    CAF2_ASSERT(incoming.size() == desc().bytes,
+                "recursive-doubling allreduce size mismatch");
+    desc().reducer.combine(acc_.data(), incoming.data(),
+                           incoming.size() / desc().reducer.elem_size);
+    incoming.clear();
+  }
+
+  /// Participant index of this rank (0..pow), and back to a team rank.
+  int participant() const {
+    const int r = team_rank();
+    return r < 2 * rem_ ? r / 2 : r - rem_;
+  }
+  int participant_rank(int q) const { return q < rem_ ? 2 * q : q + rem_; }
+
+  void pump(Image& image) {
+    if (done_) {
+      return;
+    }
+    if (folded_out_) {
+      if (!have(stage_result())) {
+        return;
+      }
+      auto& incoming = got_[static_cast<std::size_t>(stage_result())];
+      CAF2_ASSERT(incoming.size() == desc().bytes,
+                  "recursive-doubling allreduce result size mismatch");
+      std::memcpy(desc().buf, incoming.data(), incoming.size());
+      done_ = true;
+      return;
+    }
+    const int r = team_rank();
+    if (r < 2 * rem_ && !fold_absorbed_) {
+      if (!have(kStageFold)) {
+        return;
+      }
+      fold_in(kStageFold);
+      fold_absorbed_ = true;
+    }
+    const int q = participant();
+    while (round_ < rounds_) {
+      if (!sent_current_) {
+        send_stage(image, participant_rank(q ^ (1 << round_)), 1 + round_,
+                   acc_.data(), acc_.size());
+        sent_current_ = true;
+      }
+      if (!have(1 + round_)) {
+        return;
+      }
+      fold_in(1 + round_);
+      ++round_;
+      sent_current_ = false;
+    }
+    std::memcpy(desc().buf, acc_.data(), acc_.size());
+    if (r < 2 * rem_) {
+      send_stage(image, r + 1, stage_result(), acc_.data(), acc_.size());
+    }
+    done_ = true;
+    mark_data_done(image);
+  }
+
+  bool started_ = false;
+  bool folded_out_ = false;
+  bool fold_absorbed_ = false;
+  bool sent_current_ = false;
+  bool done_ = false;
+  int pow_ = 1;
+  int rem_ = 0;
+  int rounds_ = 0;
+  int round_ = 0;
+  std::vector<std::uint8_t> acc_;
+  std::vector<std::vector<std::uint8_t>> got_;
+  std::vector<bool> has_;
+};
+
+/// Recursive-doubling allgather (power-of-two p): round k exchanges the
+/// currently-held 2^k-block region with partner r XOR 2^k, doubling the
+/// region each round. log2(p) messages per rank instead of the ring's p-1,
+/// at the cost of region-sized (growing) payloads.
+class RdAllgatherImpl final : public CollImplBase {
+ public:
+  using CollImplBase::CollImplBase;
+
+ protected:
+  void begin(Image& image) override {
+    started_ = true;
+    const int p = team_size();
+    CAF2_ASSERT(std::has_single_bit(static_cast<unsigned>(p)),
+                "recursive-doubling allgather needs a power-of-two team");
+    rounds_ = ceil_log2(p);
+    std::memcpy(slot(team_rank()), desc().buf, desc().bytes);
+    pump(image);
+  }
+
+  void handle(Image& image, CollStageMsg&& msg) override {
+    got_.resize(std::max(got_.size(),
+                         static_cast<std::size_t>(msg.stage) + 1));
+    has_.resize(std::max(has_.size(),
+                         static_cast<std::size_t>(msg.stage) + 1),
+                false);
+    got_[static_cast<std::size_t>(msg.stage)] = std::move(msg.data);
+    has_[static_cast<std::size_t>(msg.stage)] = true;
+    if (started_) {
+      pump(image);
+    }
+  }
+
+  bool role_done() const override { return started_ && round_ == rounds_; }
+
+ private:
+  std::uint8_t* slot(int rank) const {
+    return static_cast<std::uint8_t*>(desc().buf2) +
+           static_cast<std::size_t>(rank) * desc().bytes;
+  }
+
+  void pump(Image& image) {
+    const int r = team_rank();
+    while (round_ < rounds_) {
+      const int width = 1 << round_;          // blocks currently held
+      const int base = r & ~(width - 1);      // first held block
+      if (!sent_current_) {
+        send_stage(image, r ^ width, round_, slot(base),
+                   static_cast<std::size_t>(width) * desc().bytes);
+        sent_current_ = true;
+      }
+      if (static_cast<std::size_t>(round_) >= has_.size() ||
+          !has_[static_cast<std::size_t>(round_)]) {
+        return;
+      }
+      auto& incoming = got_[static_cast<std::size_t>(round_)];
+      CAF2_ASSERT(incoming.size() ==
+                      static_cast<std::size_t>(width) * desc().bytes,
+                  "recursive-doubling allgather region size mismatch");
+      std::memcpy(slot(base ^ width), incoming.data(), incoming.size());
+      incoming.clear();
+      ++round_;
+      sent_current_ = false;
+    }
+    mark_data_done(image, /*after_stages=*/true);
+  }
+
+  bool started_ = false;
+  bool sent_current_ = false;
+  int rounds_ = 0;
+  int round_ = 0;
+  std::vector<std::vector<std::uint8_t>> got_;
+  std::vector<bool> has_;
+};
+
+}  // namespace
+
+std::unique_ptr<CollImplBase> make_rd_impl(rt::CollKey key, CollDesc desc) {
+  switch (desc.kind) {
+    case CollKind::kAllreduce:
+      return std::make_unique<RdAllreduceImpl>(key, std::move(desc));
+    case CollKind::kAllgather:
+      return std::make_unique<RdAllgatherImpl>(key, std::move(desc));
+    default:
+      throw UsageError(
+          "recursive-doubling schedule: unsupported collective kind");
+  }
+}
+
+}  // namespace caf2::ops::detail

@@ -1,0 +1,240 @@
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "ops/coll_detail.hpp"
+#include "runtime/runtime.hpp"
+#include "support/error.hpp"
+
+/// \file coll_algo_tree.cpp
+/// Tree-family schedules (DESIGN.md §4.13): radix-4 k-nomial broadcast and
+/// reduce (shallower than binomial — depth log_4 p — at the cost of up to
+/// three sends per level per node), and a binomial gather+release barrier
+/// (an alternative to the default dissemination rounds: 2 log2 p hops of
+/// depth instead of log2 p rounds of p messages).
+
+namespace caf2::ops::detail {
+
+namespace {
+
+using rt::CollStageMsg;
+using rt::Image;
+
+/// k-nomial broadcast from desc().root (relative-rank rotation, like the
+/// binomial schedule in collectives.cpp).
+class KnomialBroadcastImpl final : public CollImplBase {
+ public:
+  using CollImplBase::CollImplBase;
+
+ protected:
+  void begin(Image& image) override {
+    started_ = true;
+    if (team_rank() == desc().root) {
+      have_data_ = true;
+      forward(image);
+      mark_data_done(image, /*after_stages=*/true);
+    } else if (pending_payload_) {
+      deliver(image);
+    }
+  }
+
+  void handle(Image& image, CollStageMsg&& msg) override {
+    payload_ = std::move(msg.data);
+    pending_payload_ = true;
+    if (started_) {
+      deliver(image);
+    }
+  }
+
+  bool role_done() const override { return started_ && have_data_; }
+
+ private:
+  int vrank() const {
+    const int p = team_size();
+    return (team_rank() - desc().root + p) % p;
+  }
+
+  void forward(Image& image) {
+    const int p = team_size();
+    for (int child : knomial_children(vrank(), p, kKnomialRadix)) {
+      send_stage(image, (child + desc().root) % p, 0, desc().buf,
+                 desc().bytes);
+    }
+  }
+
+  void deliver(Image& image) {
+    CAF2_ASSERT(payload_.size() == desc().bytes,
+                "knomial broadcast size mismatch");
+    std::memcpy(desc().buf, payload_.data(), payload_.size());
+    have_data_ = true;
+    pending_payload_ = false;
+    forward(image);
+    mark_data_done(image);
+  }
+
+  bool started_ = false;
+  bool have_data_ = false;
+  bool pending_payload_ = false;
+  std::vector<std::uint8_t> payload_;
+};
+
+/// k-nomial reduction toward desc().root.
+class KnomialReduceImpl final : public CollImplBase {
+ public:
+  using CollImplBase::CollImplBase;
+
+ protected:
+  void begin(Image& image) override {
+    started_ = true;
+    acc_.resize(desc().bytes);
+    std::memcpy(acc_.data(), desc().buf, desc().bytes);
+    expected_ = static_cast<int>(
+        knomial_children(vrank(), team_size(), kKnomialRadix).size());
+    if (team_rank() != desc().root) {
+      mark_data_done(image);  // inputs captured; user buffer reusable
+    }
+    for (auto& pending : pending_msgs_) {
+      absorb(pending);
+    }
+    pending_msgs_.clear();
+    try_advance(image);
+  }
+
+  void handle(Image& image, CollStageMsg&& msg) override {
+    if (!started_) {
+      pending_msgs_.push_back(std::move(msg.data));
+      return;
+    }
+    absorb(msg.data);
+    try_advance(image);
+  }
+
+  bool role_done() const override { return started_ && done_; }
+
+ private:
+  int vrank() const {
+    const int p = team_size();
+    return (team_rank() - desc().root + p) % p;
+  }
+
+  void absorb(const std::vector<std::uint8_t>& data) {
+    CAF2_ASSERT(data.size() == desc().bytes, "knomial reduce size mismatch");
+    const Reducer& reducer = desc().reducer;
+    reducer.combine(acc_.data(), data.data(),
+                    desc().bytes / reducer.elem_size);
+    ++got_;
+  }
+
+  void try_advance(Image& image) {
+    if (done_ || got_ < expected_) {
+      return;
+    }
+    done_ = true;
+    if (team_rank() == desc().root) {
+      std::memcpy(desc().buf, acc_.data(), acc_.size());
+      mark_data_done(image);
+    } else {
+      const int p = team_size();
+      send_stage(image,
+                 (knomial_parent(vrank(), kKnomialRadix) + desc().root) % p,
+                 0, acc_.data(), acc_.size());
+    }
+  }
+
+  bool started_ = false;
+  bool done_ = false;
+  int expected_ = 0;
+  int got_ = 0;
+  std::vector<std::uint8_t> acc_;
+  std::vector<std::vector<std::uint8_t>> pending_msgs_;
+};
+
+/// Binomial gather+release barrier rooted at team rank 0: zero-byte tokens
+/// flow up the tree (stage 0); once the root holds its whole subtree it
+/// releases back down (stage 1). The release is causally ordered after this
+/// node's own up token, so it can never arrive before the up phase is done.
+class TreeBarrierImpl final : public CollImplBase {
+ public:
+  using CollImplBase::CollImplBase;
+
+  static constexpr int kStageUp = 0;
+  static constexpr int kStageDown = 1;
+
+ protected:
+  void begin(Image& image) override {
+    started_ = true;
+    expected_ = static_cast<int>(
+        binomial_children(team_rank(), team_size()).size());
+    try_up(image);
+    if (pending_release_) {
+      release(image);
+    }
+  }
+
+  void handle(Image& image, CollStageMsg&& msg) override {
+    if (msg.stage == kStageUp) {
+      ++got_;
+      if (started_) {
+        try_up(image);
+      }
+    } else {
+      pending_release_ = true;
+      if (started_) {
+        release(image);
+      }
+    }
+  }
+
+  bool role_done() const override { return started_ && released_; }
+
+ private:
+  void try_up(Image& image) {
+    if (up_done_ || got_ < expected_) {
+      return;
+    }
+    up_done_ = true;
+    if (team_rank() == 0) {
+      release(image);
+    } else {
+      send_stage(image, binomial_parent(team_rank()), kStageUp, nullptr, 0);
+    }
+  }
+
+  void release(Image& image) {
+    CAF2_ASSERT(up_done_, "tree barrier released before its subtree arrived");
+    pending_release_ = false;
+    released_ = true;
+    for (int child : binomial_children(team_rank(), team_size())) {
+      send_stage(image, child, kStageDown, nullptr, 0);
+    }
+    mark_data_done(image);
+  }
+
+  bool started_ = false;
+  bool up_done_ = false;
+  bool released_ = false;
+  bool pending_release_ = false;
+  int expected_ = 0;
+  int got_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CollImplBase> make_tree_barrier_impl(rt::CollKey key,
+                                                     CollDesc desc) {
+  return std::make_unique<TreeBarrierImpl>(key, std::move(desc));
+}
+
+std::unique_ptr<CollImplBase> make_knomial_impl(rt::CollKey key,
+                                                CollDesc desc) {
+  switch (desc.kind) {
+    case CollKind::kBroadcast:
+      return std::make_unique<KnomialBroadcastImpl>(key, std::move(desc));
+    case CollKind::kReduce:
+      return std::make_unique<KnomialReduceImpl>(key, std::move(desc));
+    default:
+      throw UsageError("knomial schedule: unsupported collective kind");
+  }
+}
+
+}  // namespace caf2::ops::detail

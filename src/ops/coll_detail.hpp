@@ -19,6 +19,17 @@ int binomial_parent(int vr);
 std::vector<int> binomial_children(int vr, int p);
 int ceil_log2(int p);
 
+/// k-nomial-tree helpers (radix \p k >= 2) over `p` relative ranks rooted
+/// at 0: a node's parent clears its lowest nonzero base-k digit; its
+/// children add j*k^d (j in [1, k)) for every digit position d below that
+/// digit. k = 2 degenerates to the binomial tree.
+int knomial_parent(int vr, int k);
+std::vector<int> knomial_children(int vr, int p, int k);
+
+/// Radix of CollAlgorithm::kKnomialTree (shallower than binomial: depth
+/// log_4 p, at most 3 sends per level per node).
+inline constexpr int kKnomialRadix = 4;
+
 /// Common machinery: stage-message sending with staged/ack bookkeeping, the
 /// two completion points (local data / local operation), and finish
 /// attribution captured at start time.
@@ -61,6 +72,7 @@ class CollImplBase : public rt::CollBase {
   rt::ImplicitOpPtr op_;
   int pending_stage_ = 0;
   int pending_ack_ = 0;
+  double begin_us_ = 0.0;  ///< start() time, for the obs collective span
   bool data_done_ = false;
   bool data_after_stages_ = false;
   bool op_done_ = false;
@@ -69,5 +81,17 @@ class CollImplBase : public rt::CollBase {
 
 /// Factory for the distributed sample sort (implemented in sort.cpp).
 std::unique_ptr<CollImplBase> make_sort_impl(rt::CollKey key, CollDesc desc);
+
+/// Algorithm-family factories (one translation unit per family; each
+/// switches on desc.kind for the kinds its schedule covers). desc.algorithm
+/// is already resolved to the family's concrete value.
+std::unique_ptr<CollImplBase> make_tree_barrier_impl(rt::CollKey key,
+                                                     CollDesc desc);
+std::unique_ptr<CollImplBase> make_knomial_impl(rt::CollKey key,
+                                                CollDesc desc);
+std::unique_ptr<CollImplBase> make_ring_impl(rt::CollKey key, CollDesc desc);
+std::unique_ptr<CollImplBase> make_rd_impl(rt::CollKey key, CollDesc desc);
+std::unique_ptr<CollImplBase> make_direct_impl(rt::CollKey key,
+                                               CollDesc desc);
 
 }  // namespace caf2::ops::detail

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/obs.hpp"
+#include "ops/coll_algo.hpp"
 #include "ops/coll_detail.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/runtime.hpp"
@@ -32,6 +34,40 @@ int ceil_log2(int p) {
   return p <= 1 ? 0 : std::bit_width(static_cast<unsigned>(p - 1));
 }
 
+int knomial_parent(int vr, int k) {
+  if (vr == 0) {
+    return -1;
+  }
+  int pw = 1;
+  while ((vr / pw) % k == 0) {
+    pw *= k;
+  }
+  return vr - ((vr / pw) % k) * pw;
+}
+
+std::vector<int> knomial_children(int vr, int p, int k) {
+  std::vector<int> children;
+  // low = k^(position of vr's lowest nonzero base-k digit); children live
+  // at every strictly lower digit position. Root 0 has no nonzero digit, so
+  // every position below log_k(p) applies.
+  long low = p;
+  if (vr != 0) {
+    low = 1;
+    while ((vr / low) % k == 0) {
+      low *= k;
+    }
+  }
+  for (long pw = 1; pw < low && pw < p; pw *= k) {
+    for (int j = 1; j < k; ++j) {
+      const long child = vr + j * pw;
+      if (child < p) {
+        children.push_back(static_cast<int>(child));
+      }
+    }
+  }
+  return children;
+}
+
 CollImplBase::CollImplBase(CollKey key, CollDesc desc)
     : key_(key), desc_(std::move(desc)) {}
 
@@ -44,6 +80,7 @@ void CollImplBase::start(Image& image, const net::FinishKey& finish,
                          rt::ImplicitOpPtr op) {
   finish_ = finish;
   op_ = std::move(op);
+  begin_us_ = image.runtime().engine().now();
   begin(image);
   try_complete(image);
 }
@@ -123,6 +160,16 @@ void CollImplBase::try_complete(Image& image) {
   }
   if (desc_.local_done.valid()) {
     rt::post_event_raw(image.runtime(), image.rank(), desc_.local_done);
+  }
+  // Satellite: every collective stamps its resolved schedule into the span
+  // label ("kind/algorithm"), so trace exports show which schedule ran.
+  // Appending a span never schedules events, so obs on/off stays
+  // schedule-identical.
+  if (obs::Recorder* const rec = image.runtime().observer()) {
+    rec->op_span(image.rank(), obs::SpanKind::kCollective, begin_us_,
+                 image.runtime().engine().now(), desc_.bytes,
+                 static_cast<std::uint64_t>(team_size()), -1,
+                 coll_span_label(desc_.kind, desc_.algorithm));
   }
   image.runtime().engine().unblock(image.rank());
   erasable_ = true;
@@ -775,20 +822,50 @@ class ScanImpl final : public CollImplBase {
   std::vector<bool> has_got_;
 };
 
+/// Dispatch on (kind, resolved algorithm). The legacy schedules live in
+/// this file; the alternative families live in coll_algo_*.cpp behind the
+/// detail::make_*_impl factories. resolve_algorithm() already rejected
+/// unsupported pairings and clamped structurally impossible ones, so an
+/// unhandled combination here is a programming error.
 std::unique_ptr<CollImplBase> make_impl(CollKind kind, CollKey key,
                                         CollDesc desc) {
+  const CollAlgorithm algorithm = desc.algorithm;
   switch (kind) {
     case CollKind::kBarrier:
+      if (algorithm == CollAlgorithm::kBinomialTree) {
+        return detail::make_tree_barrier_impl(key, std::move(desc));
+      }
       return std::make_unique<BarrierImpl>(key, std::move(desc));
     case CollKind::kBroadcast:
+      if (algorithm == CollAlgorithm::kKnomialTree) {
+        return detail::make_knomial_impl(key, std::move(desc));
+      }
+      if (algorithm == CollAlgorithm::kRing) {
+        return detail::make_ring_impl(key, std::move(desc));
+      }
       return std::make_unique<BroadcastImpl>(key, std::move(desc));
     case CollKind::kReduce:
+      if (algorithm == CollAlgorithm::kKnomialTree) {
+        return detail::make_knomial_impl(key, std::move(desc));
+      }
       return std::make_unique<ReduceImpl>(key, std::move(desc));
     case CollKind::kAllreduce:
+      if (algorithm == CollAlgorithm::kRing) {
+        return detail::make_ring_impl(key, std::move(desc));
+      }
+      if (algorithm == CollAlgorithm::kRecursiveDoubling) {
+        return detail::make_rd_impl(key, std::move(desc));
+      }
       return std::make_unique<AllreduceImpl>(key, std::move(desc));
     case CollKind::kGather:
+      if (algorithm == CollAlgorithm::kDirect) {
+        return detail::make_direct_impl(key, std::move(desc));
+      }
       return std::make_unique<GatherImpl>(key, std::move(desc));
     case CollKind::kScatter:
+      if (algorithm == CollAlgorithm::kDirect) {
+        return detail::make_direct_impl(key, std::move(desc));
+      }
       return std::make_unique<ScatterImpl>(key, std::move(desc));
     case CollKind::kAlltoall:
       return std::make_unique<AlltoallImpl>(key, std::move(desc));
@@ -796,6 +873,23 @@ std::unique_ptr<CollImplBase> make_impl(CollKind kind, CollKey key,
       return std::make_unique<ScanImpl>(key, std::move(desc));
     case CollKind::kSort:
       return detail::make_sort_impl(key, std::move(desc));
+    case CollKind::kAllgather:
+      if (algorithm == CollAlgorithm::kRecursiveDoubling) {
+        return detail::make_rd_impl(key, std::move(desc));
+      }
+      if (algorithm == CollAlgorithm::kDirect) {
+        return detail::make_direct_impl(key, std::move(desc));
+      }
+      return detail::make_ring_impl(key, std::move(desc));
+    case CollKind::kReduceScatter:
+      if (algorithm == CollAlgorithm::kDirect) {
+        return detail::make_direct_impl(key, std::move(desc));
+      }
+      return detail::make_ring_impl(key, std::move(desc));
+    case CollKind::kGatherv:
+    case CollKind::kScatterv:
+    case CollKind::kAlltoallv:
+      return detail::make_direct_impl(key, std::move(desc));
   }
   throw UsageError("unknown collective kind");
 }
@@ -829,6 +923,19 @@ void classify(const CollDesc& desc, bool& reads, bool& writes) {
       reads = desc.team.rank() == desc.root;
       writes = true;
       break;
+    case CollKind::kAllgather:
+    case CollKind::kReduceScatter:
+    case CollKind::kAlltoallv:
+      reads = writes = true;
+      break;
+    case CollKind::kGatherv:
+      reads = true;
+      writes = desc.team.rank() == desc.root;
+      break;
+    case CollKind::kScatterv:
+      reads = desc.team.rank() == desc.root;
+      writes = true;
+      break;
   }
 }
 
@@ -839,6 +946,19 @@ void start_collective(CollDesc desc) {
   CAF2_REQUIRE(desc.team.valid(), "collective on an invalid team");
   CAF2_REQUIRE(desc.team.rank_of_world(image.rank()) == desc.team.rank(),
                "collective caller is not a member of the team");
+
+  // Resolve kAuto to a concrete schedule. Every resolution input must be
+  // team-uniform so all members independently pick the same schedule and
+  // the stage machinery stays in lockstep: kind and team size trivially
+  // are; for the payload we use the per-member chunk (bytes2) for scatter
+  // kinds — desc.bytes is root-only there — and the contribution size
+  // (bytes) everywhere else.
+  const std::size_t uniform_bytes =
+      (desc.kind == CollKind::kScatter || desc.kind == CollKind::kScatterv)
+          ? desc.bytes2
+          : desc.bytes;
+  desc.algorithm = resolve_algorithm(desc.kind, desc.algorithm,
+                                     desc.team.size(), uniform_bytes);
 
   const bool implicit =
       !desc.src_done.valid() && !desc.local_done.valid();
@@ -912,6 +1032,7 @@ void barrier_async(const Team& team, CollOptions options) {
   ops::CollDesc desc;
   desc.kind = ops::CollKind::kBarrier;
   desc.team = team;
+  desc.algorithm = options.algorithm;
   desc.src_done = options.src_done;
   desc.local_done = options.local_done;
   ops::start_collective(desc);

@@ -13,13 +13,18 @@
 /// or implicitly (no events), in which case cofence provides local data
 /// completion and an enclosing finish block provides global completion.
 ///
-/// Algorithms: dissemination barrier; binomial-tree broadcast and reduce;
-/// allreduce as reduce-to-rank-0 + broadcast (the exact structure the
-/// paper's §III-A3 critical-path argument assumes: one pass through a
-/// reduction tree, one through a broadcast tree).
+/// Algorithms (DESIGN.md §4.13): every collective kind maps to one or more
+/// selectable *schedules* — binomial tree, radix-4 k-nomial tree, ring,
+/// recursive doubling, dissemination, direct pairwise — implemented over a
+/// shared stage-message state machine. CollOptions::algorithm picks one;
+/// the default CollAlgorithm::kAuto consults a selection table (built-in
+/// heuristics, or a table measured by `bench_collectives --tune` and loaded
+/// with ops::load_selection_table_file / RuntimeOptions::coll_selection_table)
+/// so the winner can depend on payload size and team size.
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
 #include <span>
 #include <vector>
 
@@ -30,9 +35,27 @@
 
 namespace caf2 {
 
+/// Selectable collective schedule (DESIGN.md §4.13). Not every algorithm
+/// applies to every collective kind; ops::supported_algorithms() lists the
+/// valid combinations and an explicitly requested unsupported pairing is a
+/// UsageError. kAuto resolves through the selection table at initiation.
+enum class CollAlgorithm : std::uint8_t {
+  kAuto,               ///< resolve via the selection table
+  kBinomialTree,       ///< classic binomial tree (the paper's schedule)
+  kKnomialTree,        ///< radix-4 k-nomial tree (shallower, fatter nodes)
+  kRing,               ///< ring / pipeline (bandwidth-optimal at scale)
+  kRecursiveDoubling,  ///< pairwise exchange, log2 rounds
+  kDissemination,      ///< dissemination rounds (barrier)
+  kDirect,             ///< direct pairwise sends (linear)
+};
+
+const char* to_string(CollAlgorithm algorithm);
+
 struct CollOptions {
   RemoteEvent src_done{};    ///< local data completion
   RemoteEvent local_done{};  ///< local operation completion
+  /// Which schedule to run; kAuto picks from the selection table.
+  CollAlgorithm algorithm = CollAlgorithm::kAuto;
 };
 
 namespace ops {
@@ -47,7 +70,14 @@ enum class CollKind : std::uint8_t {
   kAlltoall,
   kScan,
   kSort,
+  kAllgather,       ///< every member ends with the rank-ordered concatenation
+  kReduceScatter,   ///< element-wise reduction, chunk r scattered to rank r
+  kGatherv,         ///< gather with per-rank contribution sizes
+  kScatterv,        ///< scatter with per-rank chunk sizes
+  kAlltoallv,       ///< personalized exchange with per-pair sizes
 };
+
+const char* to_string(CollKind kind);
 
 /// Byte-level collective descriptor; typed wrappers populate it.
 struct CollDesc {
@@ -60,6 +90,16 @@ struct CollDesc {
   std::size_t bytes2 = 0;
   Reducer reducer{};
   bool exclusive_scan = false;
+
+  /// Requested schedule; resolved (kAuto -> concrete) at start_collective.
+  CollAlgorithm algorithm = CollAlgorithm::kAuto;
+
+  /// Variable-count collectives: per-team-rank payload *bytes*.
+  /// kGatherv: receive sizes (root only); kScatterv: send sizes (root only);
+  /// kAlltoallv: send sizes (every rank).
+  std::vector<std::size_t> counts;
+  /// kAlltoallv: per-team-rank receive bytes (every rank).
+  std::vector<std::size_t> counts2;
 
   /// Sort plumbing (type-erased; see sort_async).
   void* sort_sink = nullptr;
@@ -80,33 +120,50 @@ void install_collective_handlers(rt::Runtime& runtime);
 
 }  // namespace ops
 
-/// Asynchronous dissemination barrier over \p team.
+namespace ops::detail {
+/// Rooted-collective precondition: catch an out-of-range root at the entry
+/// point with the collective's name, instead of letting it fail deep inside
+/// the stage machinery (or, worse, hang the non-root members).
+inline void require_valid_root(const Team& team, int root, const char* what) {
+  CAF2_REQUIRE(root >= 0 && root < team.size(),
+               std::string(what) + ": root " + std::to_string(root) +
+                   " outside [0, " + std::to_string(team.size()) + ")");
+}
+}  // namespace ops::detail
+
+/// Asynchronous barrier over \p team (dissemination by default; a
+/// binomial-tree gather+release schedule is selectable via options).
 void barrier_async(const Team& team, CollOptions options = {});
 
 /// Synchronous barrier (convenience wrapper).
 void team_barrier(const Team& team);
 
-/// Asynchronous binomial broadcast of `buf` from team rank \p root.
+/// Asynchronous broadcast of `buf` from team rank \p root (binomial tree by
+/// default; k-nomial and ring schedules selectable).
 template <typename T>
 void broadcast_async(const Team& team, std::span<T> buf, int root,
                      CollOptions options = {}) {
+  ops::detail::require_valid_root(team, root, "broadcast_async");
   ops::CollDesc desc;
   desc.kind = ops::CollKind::kBroadcast;
   desc.team = team;
   desc.root = root;
   desc.buf = buf.data();
   desc.bytes = buf.size_bytes();
+  desc.algorithm = options.algorithm;
   desc.src_done = options.src_done;
   desc.local_done = options.local_done;
   ops::start_collective(desc);
 }
 
-/// Asynchronous binomial reduction of `buf` into team rank \p root's `buf`.
-/// Non-root buffers are inputs only (copied at initiation, so they may be
-/// reused as soon as src_done fires — which is immediately).
+/// Asynchronous reduction of `buf` into team rank \p root's `buf` (binomial
+/// tree by default; k-nomial selectable). Non-root buffers are inputs only
+/// (copied at initiation, so they may be reused as soon as src_done fires —
+/// which is immediately).
 template <typename T>
 void reduce_async(const Team& team, std::span<T> buf, int root, RedOp op,
                   CollOptions options = {}) {
+  ops::detail::require_valid_root(team, root, "reduce_async");
   ops::CollDesc desc;
   desc.kind = ops::CollKind::kReduce;
   desc.team = team;
@@ -114,6 +171,7 @@ void reduce_async(const Team& team, std::span<T> buf, int root, RedOp op,
   desc.buf = buf.data();
   desc.bytes = buf.size_bytes();
   desc.reducer = ops::make_reducer<T>(op);
+  desc.algorithm = options.algorithm;
   desc.src_done = options.src_done;
   desc.local_done = options.local_done;
   ops::start_collective(desc);
@@ -121,7 +179,9 @@ void reduce_async(const Team& team, std::span<T> buf, int root, RedOp op,
 
 /// Asynchronous allreduce: every member's `buf` ends up holding the
 /// element-wise reduction over all members. Local data completion (src_done)
-/// fires when the final result is in `buf`.
+/// fires when the final result is in `buf`. Schedules: binomial
+/// reduce+broadcast (default), recursive doubling, ring
+/// (reduce-scatter + allgather; bandwidth-optimal for large payloads).
 template <typename T>
 void allreduce_async(const Team& team, std::span<T> buf, RedOp op,
                      CollOptions options = {}) {
@@ -131,6 +191,7 @@ void allreduce_async(const Team& team, std::span<T> buf, RedOp op,
   desc.buf = buf.data();
   desc.bytes = buf.size_bytes();
   desc.reducer = ops::make_reducer<T>(op);
+  desc.algorithm = options.algorithm;
   desc.src_done = options.src_done;
   desc.local_done = options.local_done;
   ops::start_collective(desc);
@@ -154,6 +215,7 @@ T allreduce(const Team& team, T value, RedOp op) {
 template <typename T>
 void gather_async(const Team& team, std::span<const T> send,
                   std::span<T> recv, int root, CollOptions options = {}) {
+  ops::detail::require_valid_root(team, root, "gather_async");
   ops::CollDesc desc;
   desc.kind = ops::CollKind::kGather;
   desc.team = team;
@@ -167,6 +229,7 @@ void gather_async(const Team& team, std::span<const T> send,
     desc.buf2 = recv.data();
     desc.bytes2 = recv.size_bytes();
   }
+  desc.algorithm = options.algorithm;
   desc.src_done = options.src_done;
   desc.local_done = options.local_done;
   ops::start_collective(desc);
@@ -177,6 +240,7 @@ void gather_async(const Team& team, std::span<const T> send,
 template <typename T>
 void scatter_async(const Team& team, std::span<const T> send,
                    std::span<T> recv, int root, CollOptions options = {}) {
+  ops::detail::require_valid_root(team, root, "scatter_async");
   ops::CollDesc desc;
   desc.kind = ops::CollKind::kScatter;
   desc.team = team;
@@ -190,6 +254,7 @@ void scatter_async(const Team& team, std::span<const T> send,
   }
   desc.buf2 = recv.data();
   desc.bytes2 = recv.size_bytes();
+  desc.algorithm = options.algorithm;
   desc.src_done = options.src_done;
   desc.local_done = options.local_done;
   ops::start_collective(desc);
@@ -212,6 +277,175 @@ void alltoall_async(const Team& team, std::span<const T> send,
   desc.bytes = send.size_bytes();
   desc.buf2 = recv.data();
   desc.bytes2 = recv.size_bytes();
+  desc.algorithm = options.algorithm;
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous allgather: every member contributes `send` (equal sizes) and
+/// ends up with the concatenation by team rank in `recv`
+/// (size = team size × send size). Schedules: ring (default), recursive
+/// doubling (power-of-two teams; falls back to ring otherwise), direct.
+template <typename T>
+void allgather_async(const Team& team, std::span<const T> send,
+                     std::span<T> recv, CollOptions options = {}) {
+  CAF2_REQUIRE(recv.size() == send.size() *
+                   static_cast<std::size_t>(team.size()),
+               "allgather_async: receive extent mismatch");
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kAllgather;
+  desc.team = team;
+  desc.buf = const_cast<T*>(send.data());
+  desc.bytes = send.size_bytes();
+  desc.buf2 = recv.data();
+  desc.bytes2 = recv.size_bytes();
+  desc.algorithm = options.algorithm;
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous reduce-scatter: `send` (team size × chunk) is reduced
+/// element-wise across all members and chunk r of the result lands in team
+/// rank r's `recv` (send size = team size × recv size). Schedules: ring
+/// (default, bandwidth-optimal), direct.
+template <typename T>
+void reduce_scatter_async(const Team& team, std::span<const T> send,
+                          std::span<T> recv, RedOp op,
+                          CollOptions options = {}) {
+  CAF2_REQUIRE(send.size() == recv.size() *
+                   static_cast<std::size_t>(team.size()),
+               "reduce_scatter_async: send extent mismatch");
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kReduceScatter;
+  desc.team = team;
+  desc.buf = const_cast<T*>(send.data());
+  desc.bytes = send.size_bytes();
+  desc.buf2 = recv.data();
+  desc.bytes2 = recv.size_bytes();
+  desc.reducer = ops::make_reducer<T>(op);
+  desc.algorithm = options.algorithm;
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous variable-count gather: every member contributes `send` (any
+/// size); team rank \p root receives the concatenation by team rank into
+/// `recv`. On the root, `counts` gives every member's contribution in
+/// *elements* (size = team size) and `recv` must hold their sum; both are
+/// ignored elsewhere.
+template <typename T>
+void gatherv_async(const Team& team, std::span<const T> send,
+                   std::span<T> recv, std::span<const std::size_t> counts,
+                   int root, CollOptions options = {}) {
+  ops::detail::require_valid_root(team, root, "gatherv_async");
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kGatherv;
+  desc.team = team;
+  desc.root = root;
+  desc.buf = const_cast<T*>(send.data());
+  desc.bytes = send.size_bytes();
+  if (team.rank() == root) {
+    CAF2_REQUIRE(counts.size() == static_cast<std::size_t>(team.size()),
+                 "gatherv_async: counts extent != team size");
+    const std::size_t total =
+        std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+    CAF2_REQUIRE(recv.size() == total,
+                 "gatherv_async: root receive extent != sum of counts");
+    CAF2_REQUIRE(counts[static_cast<std::size_t>(root)] == send.size(),
+                 "gatherv_async: root's own count != its send extent");
+    desc.buf2 = recv.data();
+    desc.bytes2 = recv.size_bytes();
+    desc.counts.reserve(counts.size());
+    for (const std::size_t count : counts) {
+      desc.counts.push_back(count * sizeof(T));
+    }
+  }
+  desc.algorithm = options.algorithm;
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous variable-count scatter: team rank \p root's `send` is split
+/// into per-rank chunks of `counts` *elements* (root only; size = team
+/// size, summing to the send extent) and chunk r lands in rank r's `recv`,
+/// whose extent must equal that rank's count.
+template <typename T>
+void scatterv_async(const Team& team, std::span<const T> send,
+                    std::span<const std::size_t> counts, std::span<T> recv,
+                    int root, CollOptions options = {}) {
+  ops::detail::require_valid_root(team, root, "scatterv_async");
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kScatterv;
+  desc.team = team;
+  desc.root = root;
+  if (team.rank() == root) {
+    CAF2_REQUIRE(counts.size() == static_cast<std::size_t>(team.size()),
+                 "scatterv_async: counts extent != team size");
+    const std::size_t total =
+        std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+    CAF2_REQUIRE(send.size() == total,
+                 "scatterv_async: root send extent != sum of counts");
+    CAF2_REQUIRE(counts[static_cast<std::size_t>(root)] == recv.size(),
+                 "scatterv_async: root's own count != its receive extent");
+    desc.buf = const_cast<T*>(send.data());
+    desc.bytes = send.size_bytes();
+    desc.counts.reserve(counts.size());
+    for (const std::size_t count : counts) {
+      desc.counts.push_back(count * sizeof(T));
+    }
+  }
+  desc.buf2 = recv.data();
+  desc.bytes2 = recv.size_bytes();
+  desc.algorithm = options.algorithm;
+  desc.src_done = options.src_done;
+  desc.local_done = options.local_done;
+  ops::start_collective(desc);
+}
+
+/// Asynchronous variable-count all-to-all personalized exchange: rank j
+/// receives `send_counts[j]` *elements* of this member's `send` (packed
+/// contiguously by destination rank), and `recv_counts[i]` elements from
+/// rank i land contiguously by source rank in `recv`. Unlike
+/// alltoall_async, extents need not be divisible by the team size — counts
+/// may differ per pair (and may be zero). Requires
+/// send_counts[j] on rank i == recv_counts[i] on rank j.
+template <typename T>
+void alltoallv_async(const Team& team, std::span<const T> send,
+                     std::span<const std::size_t> send_counts,
+                     std::span<T> recv,
+                     std::span<const std::size_t> recv_counts,
+                     CollOptions options = {}) {
+  const auto p = static_cast<std::size_t>(team.size());
+  CAF2_REQUIRE(send_counts.size() == p,
+               "alltoallv_async: send_counts extent != team size");
+  CAF2_REQUIRE(recv_counts.size() == p,
+               "alltoallv_async: recv_counts extent != team size");
+  CAF2_REQUIRE(send.size() == std::accumulate(send_counts.begin(),
+                                              send_counts.end(),
+                                              std::size_t{0}),
+               "alltoallv_async: send extent != sum of send_counts");
+  CAF2_REQUIRE(recv.size() == std::accumulate(recv_counts.begin(),
+                                              recv_counts.end(),
+                                              std::size_t{0}),
+               "alltoallv_async: receive extent != sum of recv_counts");
+  ops::CollDesc desc;
+  desc.kind = ops::CollKind::kAlltoallv;
+  desc.team = team;
+  desc.buf = const_cast<T*>(send.data());
+  desc.bytes = send.size_bytes();
+  desc.buf2 = recv.data();
+  desc.bytes2 = recv.size_bytes();
+  desc.counts.reserve(p);
+  desc.counts2.reserve(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    desc.counts.push_back(send_counts[r] * sizeof(T));
+    desc.counts2.push_back(recv_counts[r] * sizeof(T));
+  }
+  desc.algorithm = options.algorithm;
   desc.src_done = options.src_done;
   desc.local_done = options.local_done;
   ops::start_collective(desc);
@@ -230,6 +464,7 @@ void scan_async(const Team& team, std::span<T> data, RedOp op,
   desc.bytes = data.size_bytes();
   desc.reducer = ops::make_reducer<T>(op);
   desc.exclusive_scan = exclusive;
+  desc.algorithm = options.algorithm;
   desc.src_done = options.src_done;
   desc.local_done = options.local_done;
   ops::start_collective(desc);
@@ -264,6 +499,7 @@ void sort_async(const Team& team, std::vector<T>& keys,
   desc.sort_less = [](const std::uint8_t* a, const std::uint8_t* b) {
     return *reinterpret_cast<const T*>(a) < *reinterpret_cast<const T*>(b);
   };
+  desc.algorithm = options.algorithm;
   desc.src_done = options.src_done;
   desc.local_done = options.local_done;
   ops::start_collective(desc);

@@ -302,6 +302,15 @@ struct RuntimeOptions {
   /// quiet-period check; proven deadlocks always produce the full report.
   double watchdog_quiet_us = 0.0;
 
+  /// Path to a collective selection-table JSON artifact (produced by
+  /// `bench_collectives --tune`, parsed by ops::load_selection_table_file).
+  /// When non-empty, caf2::run loads it before the run starts so
+  /// CollAlgorithm::kAuto picks the measured winner per (collective, team
+  /// size, payload) instead of the built-in defaults. The environment
+  /// variable CAF2_COLL_TABLE overrides this. Empty = built-in defaults
+  /// (or whatever ops::set_selection_table installed programmatically).
+  std::string coll_selection_table;
+
   /// Human-readable label used in error messages and traces.
   std::string label = "caf2";
 
